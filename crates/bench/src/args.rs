@@ -1,0 +1,189 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+use tgat::TgatConfig;
+
+/// Common experiment options.
+///
+/// Defaults are sized for a single-core laptop run of the whole suite; pass
+/// `--paper` (or individual overrides) to run the paper's full configuration
+/// (dim 100, 20 neighbors, full |E|).
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Fraction of each dataset's |E| to generate.
+    pub scale: f64,
+    /// Timed repetitions per measurement (Figure 5 uses 10 in the paper).
+    pub runs: usize,
+    /// RNG seed for generation and weights.
+    pub seed: u64,
+    /// Embedding/time dimensions of the model.
+    pub dim: usize,
+    /// Sampled neighbors per target.
+    pub n_neighbors: usize,
+    /// Edge interactions per batch.
+    pub batch_size: usize,
+    /// Restrict to these dataset names (empty = all).
+    pub datasets: Vec<String>,
+    /// Cache limit override (0 = paper default 2M).
+    pub cache_limit: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            scale: 0.02,
+            runs: 2,
+            seed: 7,
+            dim: 32,
+            n_neighbors: 10,
+            batch_size: 200,
+            datasets: Vec::new(),
+            cache_limit: 0,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, exiting with usage on `-h/--help` or errors.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| {
+                it.next().unwrap_or_else(|| die(&format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = parse_num(&take("--scale"), "--scale"),
+                "--runs" => out.runs = parse_num::<f64>(&take("--runs"), "--runs") as usize,
+                "--seed" => out.seed = parse_num::<f64>(&take("--seed"), "--seed") as u64,
+                "--dim" => out.dim = parse_num::<f64>(&take("--dim"), "--dim") as usize,
+                "--neighbors" => {
+                    out.n_neighbors =
+                        parse_num::<f64>(&take("--neighbors"), "--neighbors") as usize
+                }
+                "--batch" => {
+                    out.batch_size = parse_num::<f64>(&take("--batch"), "--batch") as usize
+                }
+                "--cache-limit" => {
+                    out.cache_limit =
+                        parse_num::<f64>(&take("--cache-limit"), "--cache-limit") as usize
+                }
+                "--datasets" | "-d" => {
+                    out.datasets =
+                        take("--datasets").split(',').map(|s| s.trim().to_string()).collect()
+                }
+                "--paper" => {
+                    // Paper-scale configuration (§5.1): slow on one core.
+                    out.scale = 1.0;
+                    out.runs = 10;
+                    out.dim = 100;
+                    out.n_neighbors = 20;
+                }
+                "-h" | "--help" => {
+                    eprintln!("{}", USAGE);
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        if out.scale <= 0.0 || out.runs == 0 || out.dim == 0 {
+            die("scale, runs and dim must be positive");
+        }
+        out
+    }
+
+    /// Model configuration implied by these arguments for a dataset with the
+    /// given edge feature dimension.
+    pub fn model_config(&self, edge_dim: usize) -> TgatConfig {
+        TgatConfig {
+            dim: self.dim,
+            edge_dim,
+            time_dim: self.dim,
+            n_layers: 2,
+            n_heads: 2,
+            n_neighbors: self.n_neighbors,
+        }
+    }
+
+    /// True if `name` is selected by `--datasets` (or no filter given).
+    pub fn selects(&self, name: &str) -> bool {
+        self.datasets.is_empty() || self.datasets.iter().any(|d| d == name)
+    }
+
+    /// Cache limit with the paper default applied.
+    pub fn effective_cache_limit(&self) -> usize {
+        if self.cache_limit == 0 {
+            2_000_000
+        } else {
+            self.cache_limit
+        }
+    }
+}
+
+const USAGE: &str = "\
+Usage: exp_* [--scale F] [--runs N] [--seed N] [--dim N] [--neighbors N]
+             [--batch N] [--cache-limit N] [--datasets a,b,...] [--paper]
+
+  --scale F        fraction of each dataset's edges to generate (default 0.02)
+  --runs N         timed repetitions per configuration (default 2)
+  --dim N          model embedding/time dimension (default 32; paper 100)
+  --neighbors N    sampled neighbors per target (default 10; paper 20)
+  --batch N        edges per inference batch (default 200, as in the paper)
+  --cache-limit N  embedding cache capacity (default 2,000,000)
+  --datasets LIST  comma-separated dataset filter
+  --paper          full paper configuration (scale 1.0, dim 100, 20 nbrs, 10 runs)";
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("invalid value {s:?} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ExpArgs {
+        ExpArgs::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_laptop_sized() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 0.02);
+        assert_eq!(a.dim, 32);
+        assert_eq!(a.batch_size, 200);
+        assert!(a.selects("jodie-lastfm"));
+        assert_eq!(a.effective_cache_limit(), 2_000_000);
+    }
+
+    #[test]
+    fn flags_override() {
+        let a = parse(&["--scale", "0.1", "--runs", "5", "--datasets", "snap-msg,jodie-wiki",
+                        "--cache-limit", "1000"]);
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.runs, 5);
+        assert!(a.selects("snap-msg"));
+        assert!(!a.selects("jodie-mooc"));
+        assert_eq!(a.effective_cache_limit(), 1000);
+    }
+
+    #[test]
+    fn paper_preset() {
+        let a = parse(&["--paper"]);
+        assert_eq!(a.dim, 100);
+        assert_eq!(a.n_neighbors, 20);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.runs, 10);
+        let cfg = a.model_config(172);
+        assert_eq!(cfg.edge_dim, 172);
+        assert!(cfg.validate().is_ok());
+    }
+}

@@ -1,0 +1,79 @@
+//! **Figure 4** — distribution of time-delta values processed by the time
+//! encoder (paper: snap-msg). Deltas cluster near zero with a power-law
+//! tail, which is what makes the contiguous precomputed window effective.
+
+use tg_bench::{harness, table, ExpArgs};
+use tg_graph::{BatchIter, TemporalGraph, TemporalSampler};
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    if args.datasets.is_empty() {
+        args.datasets = vec!["snap-msg".into()];
+    }
+    if args.scale <= 0.02 {
+        args.scale = 0.2;
+    }
+    println!("Figure 4: time-delta distribution at the time encoder, scale {}\n", args.scale);
+    for spec in tg_datasets::all_specs() {
+        if !args.selects(spec.name) {
+            continue;
+        }
+        let ds = harness::dataset_for(&args, spec.name);
+        let graph = TemporalGraph::from_stream(&ds.stream);
+        let sampler = TemporalSampler::most_recent(args.n_neighbors);
+
+        // Log-spaced histogram of the dt values the encoder would see.
+        let edges: [f64; 10] =
+            [0.0, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+        let mut counts = vec![0u64; edges.len()];
+        let mut total = 0u64;
+        let mut within_window = 0u64;
+        for batch in BatchIter::new(&ds.stream, args.batch_size) {
+            let (ns, ts) = batch.targets();
+            let nb = sampler.sample(&graph, &ns, &ts);
+            for i in 0..nb.dts.len() {
+                if !nb.is_valid(i) {
+                    continue;
+                }
+                let dt = nb.dts[i] as f64;
+                total += 1;
+                if dt < 10_000.0 {
+                    within_window += 1;
+                }
+                let bucket = edges.iter().rposition(|&e| dt >= e).unwrap_or(0);
+                counts[bucket] += 1;
+            }
+        }
+        let labels: Vec<String> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| {
+                if i + 1 < edges.len() {
+                    format!("[{:.0e}, {:.0e})", e, edges[i + 1])
+                } else {
+                    format!(">= {:.0e}", e)
+                }
+            })
+            .collect();
+        let values: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        println!("{} ({} encoded deltas):", spec.name, total);
+        println!("{}", table::bar_series("count per dt bucket", &labels, &values, 40));
+        // Probability *density* (count / bucket width) shows the power-law
+        // clustering near zero that log-spaced count buckets obscure.
+        let density: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let width = if i + 1 < edges.len() { edges[i + 1] - edges[i] } else { edges[i] * 9.0 };
+                c as f64 / width.max(1.0)
+            })
+            .collect();
+        println!("{}", table::bar_series("density (count per unit dt, log scale)", &labels,
+            &density.iter().map(|&d| (1.0 + d).ln()).collect::<Vec<_>>(), 40));
+        println!(
+            "  {:.1}% of deltas fall inside the default precompute window (dt < 10,000)\n",
+            100.0 * within_window as f64 / total.max(1) as f64
+        );
+    }
+    println!("Paper shape: power-law, clustered near 0 (most-recent sampling keeps t - t_j small).");
+}

@@ -1,0 +1,85 @@
+//! **Table 1** — percentage of duplicate `(node, time)` targets per batch at
+//! each model layer, averaged over all batches of each dataset.
+//!
+//! Mirrors the paper's measurement: the layer-2 row is the raw batch input
+//! (sources + destinations), layer 1 pools the sampled neighbors of every
+//! (non-deduplicated) layer-2 target, and layer 0 repeats the expansion but
+//! checks duplicates by node only, since layer 0 merely looks up static
+//! features (§3.1).
+//!
+//! Paper reference values (batch 200, 20 neighbors):
+//! ```text
+//! dataset        L0   L1   L2
+//! jodie-lastfm   94%  48%   0%
+//! jodie-mooc     96%  74%   2%
+//! jodie-reddit   88%  41%   0%
+//! jodie-wiki     96%  68%   0%
+//! snap-email     96%  55%  19%
+//! snap-msg       96%  70%  16%
+//! snap-reddit    83%  35%   8%
+//! ```
+
+use tg_bench::{harness, table, ExpArgs};
+use tg_graph::{BatchIter, NodeId, TemporalGraph, TemporalSampler, Time};
+use tgopt::dedup::{dedup_filter, dedup_nodes_only};
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    // Duplication is a sampling-only measurement; the paper's neighbor count
+    // is cheap enough to use even on the default laptop profile.
+    if args.n_neighbors < 20 {
+        args.n_neighbors = 20;
+    }
+    println!(
+        "Table 1: duplication per batch of {} edges, {} neighbors, scale {}\n",
+        args.batch_size, args.n_neighbors, args.scale
+    );
+
+    let mut rows = Vec::new();
+    for spec in tg_datasets::all_specs() {
+        if !args.selects(spec.name) {
+            continue;
+        }
+        let ds = harness::dataset_for(&args, spec.name);
+        let graph = TemporalGraph::from_stream(&ds.stream);
+        let sampler = TemporalSampler::most_recent(args.n_neighbors);
+        let (mut d0, mut d1, mut d2) = (0.0f64, 0.0f64, 0.0f64);
+        let mut batches = 0usize;
+        for batch in BatchIter::new(&ds.stream, args.batch_size) {
+            let (ns2, ts2) = batch.targets();
+            d2 += dedup_filter(&ns2, &ts2).duplication_rate();
+
+            // Layer-1 input: the layer-2 targets plus all their sampled
+            // neighbors (baseline pools without dedup).
+            let nb = sampler.sample(&graph, &ns2, &ts2);
+            let mut ns1: Vec<NodeId> = ns2.clone();
+            let mut ts1: Vec<Time> = ts2.clone();
+            for i in 0..nb.nodes.len() {
+                if nb.is_valid(i) {
+                    ns1.push(nb.nodes[i]);
+                    ts1.push(nb.times[i]);
+                }
+            }
+            d1 += dedup_filter(&ns1, &ts1).duplication_rate();
+
+            // Layer-0 input: expand once more; duplicates by node only.
+            let nb0 = sampler.sample(&graph, &ns1, &ts1);
+            let mut ns0: Vec<NodeId> = ns1.clone();
+            for i in 0..nb0.nodes.len() {
+                if nb0.is_valid(i) {
+                    ns0.push(nb0.nodes[i]);
+                }
+            }
+            d0 += dedup_nodes_only(&ns0).duplication_rate();
+            batches += 1;
+        }
+        let b = batches.max(1) as f64;
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.0}%", 100.0 * d0 / b),
+            format!("{:.0}%", 100.0 * d1 / b),
+            format!("{:.0}%", 100.0 * d2 / b),
+        ]);
+    }
+    println!("{}", table::render(&["dataset", "layer 0", "layer 1", "layer 2"], &rows));
+}

@@ -1,0 +1,245 @@
+//! The reproduction's counterpart to the artifact's `inference.py`: run the
+//! standard inference task on one dataset with selectable optimizations.
+//!
+//! ```sh
+//! cargo run --release -p tg-bench --bin inference -- -d snap-msg --opt-all --stats
+//! cargo run --release -p tg-bench --bin inference -- -d jodie-wiki --opt-cache --opt-dedup
+//! cargo run --release -p tg-bench --bin inference -- --csv data/ml_custom.csv --opt-all
+//! ```
+
+use tg_bench::harness::{self, mean_std};
+use tg_bench::{replay, table, EngineKind, ExpArgs};
+use tgat::OpKind;
+use tgopt::{OptConfig, TimeCacheKind};
+
+struct CliOpts {
+    base: ExpArgs,
+    dataset: String,
+    csv: Option<String>,
+    opt_dedup: bool,
+    opt_cache: bool,
+    opt_time: bool,
+    hash_time_cache: bool,
+    stats: bool,
+    time_window: usize,
+    verify: bool,
+}
+
+fn parse() -> CliOpts {
+    let mut out = CliOpts {
+        base: ExpArgs::parse_from(std::iter::empty::<String>()),
+        dataset: "snap-msg".to_string(),
+        csv: None,
+        opt_dedup: false,
+        opt_cache: false,
+        opt_time: false,
+        hash_time_cache: false,
+        stats: false,
+        time_window: 10_000,
+        verify: false,
+    };
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "-d" | "--dataset" => out.dataset = take("-d"),
+            "--csv" => out.csv = Some(take("--csv")),
+            "--opt-all" => {
+                out.opt_dedup = true;
+                out.opt_cache = true;
+                out.opt_time = true;
+            }
+            "--opt-dedup" => out.opt_dedup = true,
+            "--opt-cache" => out.opt_cache = true,
+            "--opt-time" => out.opt_time = true,
+            "--hash-time-cache" => out.hash_time_cache = true,
+            "--stats" => out.stats = true,
+            "--verify" => out.verify = true,
+            "--time-window" => {
+                out.time_window = take("--time-window").parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --time-window");
+                    std::process::exit(2);
+                })
+            }
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                passthrough.push(other.to_string());
+                if matches!(
+                    other,
+                    "--scale" | "--runs" | "--seed" | "--dim" | "--neighbors" | "--batch"
+                        | "--cache-limit" | "--datasets"
+                ) {
+                    passthrough.push(take(other));
+                }
+            }
+        }
+    }
+    out.base = ExpArgs::parse_from(passthrough);
+    out
+}
+
+const USAGE: &str = "\
+Usage: inference [-d NAME | --csv PATH] [--opt-all | --opt-dedup --opt-cache --opt-time]
+                 [--stats] [--verify] [--time-window N] [--hash-time-cache]
+                 [--scale F] [--runs N] [--dim N] [--neighbors N] [--batch N]
+                 [--cache-limit N] [--seed N]
+
+Runs the standard inference task (chronological batches, both endpoints of
+every edge embedded) with the baseline TGAT engine and, if any --opt-* flag
+is given, the TGOpt engine, reporting runtimes and statistics.";
+
+/// The paper's §5.1.3 validation: replay every batch through both engines
+/// and report the worst elementwise deviation.
+fn verify(cli: &CliOpts, ds: &tg_datasets::Dataset, params: &tgat::TgatParams) {
+    use tg_graph::{BatchIter, TemporalGraph};
+    use tgat::engine::GraphContext;
+    let graph = TemporalGraph::from_stream(&ds.stream);
+    let ctx = GraphContext {
+        graph: &graph,
+        node_features: &ds.node_features,
+        edge_features: &ds.edge_features,
+    };
+    let mut base = tgat::BaselineEngine::new(params, ctx);
+    let opt = OptConfig {
+        cache_limit: cli.base.effective_cache_limit(),
+        time_window: cli.time_window,
+        ..OptConfig::all()
+    };
+    let mut ours = tgopt::TgoptEngine::new(params, ctx, opt);
+    let mut worst = 0.0f32;
+    let mut batches = 0usize;
+    for batch in BatchIter::new(&ds.stream, cli.base.batch_size) {
+        let (ns, ts) = batch.targets();
+        let hb = base.embed_batch(&ns, &ts);
+        let ho = ours.embed_batch(&ns, &ts);
+        worst = worst.max(hb.max_abs_diff(&ho));
+        batches += 1;
+    }
+    println!(
+        "verified {batches} batches: max abs deviation {worst:.3e} (tolerance 1e-4)"
+    );
+    if worst >= 1e-4 {
+        eprintln!("FAILED: TGOpt diverged from the baseline");
+        std::process::exit(1);
+    }
+    println!("OK: TGOpt matches the baseline within floating-point tolerance");
+}
+
+fn main() {
+    let cli = parse();
+    let ds = match &cli.csv {
+        Some(path) => tg_datasets::load_csv(
+            std::path::Path::new(path),
+            "custom",
+            100,
+            cli.base.seed,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: failed to load {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => harness::dataset_for(&cli.base, &cli.dataset),
+    };
+    // CSV-loaded node features may need resizing to the model dim, exactly
+    // like the generated ones.
+    let mut ds = ds;
+    ds.node_features =
+        tg_tensor::Tensor::zeros(ds.node_features.rows(), cli.base.dim);
+    let params = harness::params_for(&cli.base, &ds);
+    println!(
+        "dataset {} | {} edges | {} nodes | d_e {} | model dim {} | {} neighbors | batch {}",
+        ds.name,
+        ds.stream.len(),
+        ds.stream.num_nodes(),
+        ds.dim(),
+        cli.base.dim,
+        cli.base.n_neighbors,
+        cli.base.batch_size
+    );
+
+    if cli.verify {
+        verify(&cli, &ds, &params);
+        return;
+    }
+
+    let any_opt = cli.opt_dedup || cli.opt_cache || cli.opt_time;
+    let mut base_times = Vec::new();
+    let mut base_run = None;
+    for _ in 0..cli.base.runs {
+        let r = replay(&ds, &params, EngineKind::Baseline, cli.base.batch_size, cli.stats);
+        base_times.push(r.seconds);
+        base_run = Some(r);
+    }
+    let (bm, bs) = mean_std(&base_times);
+    println!("baseline: {} +/- {}", table::fmt_secs(bm), table::fmt_secs(bs));
+
+    if any_opt {
+        let opt = OptConfig {
+            enable_dedup: cli.opt_dedup,
+            enable_cache: cli.opt_cache,
+            enable_time_precompute: cli.opt_time,
+            cache_limit: cli.base.effective_cache_limit(),
+            time_window: cli.time_window,
+            time_cache_kind: if cli.hash_time_cache {
+                TimeCacheKind::Hash
+            } else {
+                TimeCacheKind::DenseWindow
+            },
+            ..OptConfig::all()
+        };
+        let mut opt_times = Vec::new();
+        let mut opt_run = None;
+        for _ in 0..cli.base.runs {
+            let r = replay(&ds, &params, EngineKind::Tgopt(opt), cli.base.batch_size, cli.stats);
+            opt_times.push(r.seconds);
+            opt_run = Some(r);
+        }
+        let (om, os) = mean_std(&opt_times);
+        println!(
+            "tgopt:    {} +/- {}   speedup {:.2}x",
+            table::fmt_secs(om),
+            table::fmt_secs(os),
+            bm / om.max(1e-12)
+        );
+        let r = opt_run.expect("ran at least once");
+        println!(
+            "cache: {:.2}% hit rate | {} items | {} | dedup removed {}",
+            100.0 * r.counters.hit_rate(),
+            r.cache_items,
+            table::fmt_mib(r.cache_bytes),
+            r.counters.dedup_removed
+        );
+        if cli.stats {
+            let b = base_run.expect("ran at least once");
+            let mut rows = Vec::new();
+            for kind in OpKind::ALL {
+                let cell = |v: f64| if v == 0.0 { "-".into() } else { format!("{v:.3}") };
+                rows.push(vec![
+                    kind.label().to_string(),
+                    cell(b.stats.total(kind).as_secs_f64()),
+                    cell(r.stats.total(kind).as_secs_f64()),
+                ]);
+            }
+            println!("\n{}", table::render(&["operation (secs)", "base", "ours"], &rows));
+        }
+    } else if cli.stats {
+        let b = base_run.expect("ran at least once");
+        let mut rows = Vec::new();
+        for kind in OpKind::ALL {
+            let v = b.stats.total(kind).as_secs_f64();
+            if v > 0.0 {
+                rows.push(vec![kind.label().to_string(), format!("{v:.3}")]);
+            }
+        }
+        println!("\n{}", table::render(&["operation (secs)", "base"], &rows));
+    }
+}

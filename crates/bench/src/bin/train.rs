@@ -1,0 +1,133 @@
+//! The reproduction's counterpart to the artifact's `train.py`: train a
+//! TGAT model on one dataset with standard link-prediction training and
+//! save the checkpoint for later inference runs.
+//!
+//! ```sh
+//! cargo run --release -p tg-bench --bin train -- -d snap-msg --epochs 3 \
+//!     --out /tmp/tgat-snap-msg.json
+//! cargo run --release -p tg-bench --bin train -- -d jodie-wiki --dedup-train
+//! ```
+
+use tg_bench::{harness, ExpArgs};
+use tgat::train::TrainConfig;
+
+struct TrainCli {
+    base: ExpArgs,
+    dataset: String,
+    epochs: usize,
+    lr: f32,
+    dropout: f32,
+    dedup_train: bool,
+    out: Option<String>,
+}
+
+const USAGE: &str = "\
+Usage: train [-d NAME] [--epochs N] [--lr F] [--dropout F] [--dedup-train]
+             [--out PATH] [--scale F] [--dim N] [--neighbors N] [--batch N] [--seed N]
+
+Trains TGAT for link prediction on the dataset's chronological prefix,
+reports per-epoch loss and validation AUC, and optionally saves the model
+as JSON. --dedup-train uses TGOpt's redundancy-aware training (same model,
+less work).";
+
+fn parse() -> TrainCli {
+    let mut out = TrainCli {
+        base: ExpArgs::parse_from(std::iter::empty::<String>()),
+        dataset: "snap-msg".to_string(),
+        epochs: 2,
+        lr: 1e-3,
+        dropout: 0.1,
+        dedup_train: false,
+        out: None,
+    };
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "-d" | "--dataset" => out.dataset = take("-d"),
+            "--epochs" => out.epochs = take("--epochs").parse().unwrap_or(2),
+            "--lr" => out.lr = take("--lr").parse().unwrap_or(1e-3),
+            "--dropout" => out.dropout = take("--dropout").parse().unwrap_or(0.1),
+            "--dedup-train" => out.dedup_train = true,
+            "--out" => out.out = Some(take("--out")),
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                passthrough.push(other.to_string());
+                if matches!(
+                    other,
+                    "--scale" | "--runs" | "--seed" | "--dim" | "--neighbors" | "--batch"
+                ) {
+                    passthrough.push(take(other));
+                }
+            }
+        }
+    }
+    out.base = ExpArgs::parse_from(passthrough);
+    out
+}
+
+fn main() {
+    let mut cli = parse();
+    // Training tapes are memory-hungry; keep the default slice modest.
+    if cli.base.scale > 0.02 {
+        eprintln!("note: training at scale {} may be slow on one core", cli.base.scale);
+    }
+    cli.base.datasets = vec![cli.dataset.clone()];
+    let ds = harness::dataset_for(&cli.base, &cli.dataset);
+    let cfg = cli.base.model_config(ds.dim());
+    let mut params = tgat::TgatParams::init(cfg, cli.base.seed);
+    println!(
+        "training TGAT on {} ({} edges, dim {}, {} neighbors, {} epochs, lr {}, dropout {})",
+        ds.name,
+        ds.stream.len(),
+        cfg.dim,
+        cfg.n_neighbors,
+        cli.epochs,
+        cli.lr,
+        cli.dropout
+    );
+
+    let tc = TrainConfig {
+        epochs: cli.epochs,
+        batch_size: cli.base.batch_size,
+        lr: cli.lr,
+        train_frac: 0.85,
+        seed: cli.base.seed,
+        dropout: cli.dropout,
+    };
+    let start = std::time::Instant::now();
+    let report = if cli.dedup_train {
+        tgopt::train::train_deduped(
+            &mut params,
+            &ds.stream,
+            &ds.node_features,
+            &ds.edge_features,
+            &tc,
+        )
+    } else {
+        tgat::train::train(&mut params, &ds.stream, &ds.node_features, &ds.edge_features, &tc)
+    };
+    let secs = start.elapsed().as_secs_f64();
+    for (i, loss) in report.epoch_losses.iter().enumerate() {
+        println!("epoch {:>2}: mean BCE loss {loss:.4}", i + 1);
+    }
+    println!("validation AUC: {:.4}", report.val_auc);
+    println!("trained in {secs:.1}s ({} mode)", if cli.dedup_train { "dedup" } else { "vanilla" });
+
+    if let Some(path) = cli.out {
+        params.save(std::path::Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("error: failed to save model: {e}");
+            std::process::exit(1);
+        });
+        println!("saved checkpoint to {path}");
+    }
+}

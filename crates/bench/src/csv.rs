@@ -1,0 +1,45 @@
+//! Tiny CSV writer used by the experiment binaries, mirroring the
+//! artifact's `logs/*.csv` outputs so downstream plotting scripts can be
+//! reused.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes rows to `logs/<name>.csv` (creating `logs/` next to the working
+/// directory). Returns the path written.
+pub fn write_csv(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = Path::new("logs");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len(), "csv row width mismatch");
+        writeln!(f, "{}", row.join(","))?;
+    }
+    f.flush()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let name = format!("csv-test-{}", std::process::id());
+        let path = write_csv(
+            &name,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+}

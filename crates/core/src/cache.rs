@@ -1,0 +1,584 @@
+//! The embedding memoization cache (§4.2, Algorithm 3).
+//!
+//! A sharded concurrent hash table maps the collision-free `(node, time)`
+//! key to a cached embedding row. Capacity is bounded by an item limit
+//! (paper default 2M ≈ <1 GiB at 100 dims) with FIFO eviction. Lookups can
+//! be parallelized across keys (the paper parallelizes `CacheLookup` on both
+//! machines and `CacheStore` only on the GPU host, §5.1.3 — both are
+//! configurable here).
+
+use crate::hash::unpack_key;
+use parking_lot::{Mutex, RwLock};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use tg_graph::NodeId;
+use tg_tensor::Tensor;
+
+const NUM_SHARDS: usize = 16;
+
+/// Sharded, size-limited embedding cache with FIFO eviction.
+///
+/// ```
+/// use tgopt::{EmbedCache, pack_key};
+/// use tg_tensor::Tensor;
+///
+/// let cache = EmbedCache::new(1000, 2);
+/// let keys = [pack_key(7, 3.0)];
+/// cache.store(&keys, &Tensor::from_vec(1, 2, vec![0.5, -0.5]), false);
+///
+/// let mut out = Tensor::zeros(2, 2);
+/// let hits = cache.lookup(&[pack_key(7, 3.0), pack_key(8, 3.0)], &mut out, false);
+/// assert_eq!(hits, vec![true, false]);
+/// assert_eq!(out.row(0), &[0.5, -0.5]);
+/// ```
+pub struct EmbedCache {
+    shards: Vec<RwLock<FxHashMap<u64, Box<[f32]>>>>,
+    /// Insertion order across all shards, for FIFO eviction.
+    fifo: Mutex<VecDeque<u64>>,
+    count: AtomicUsize,
+    limit: usize,
+    dim: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[inline]
+fn shard_of(key: u64) -> usize {
+    // Spread sequential node ids across shards.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (NUM_SHARDS - 1)
+}
+
+impl EmbedCache {
+    /// A cache holding at most `limit` embeddings of `dim` floats each.
+    pub fn new(limit: usize, dim: usize) -> Self {
+        assert!(limit > 0, "cache limit must be positive");
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            shards: (0..NUM_SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            fifo: Mutex::new(VecDeque::new()),
+            count: AtomicUsize::new(0),
+            limit,
+            dim,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// `CacheLookup`: fills rows of `out` for hit keys and returns the hit
+    /// mask. `out` must be `[keys.len(), dim]`; missing rows are untouched
+    /// (the engine fills them after recomputation), avoiding an intermediate
+    /// tensor exactly as §4.2.2 describes.
+    pub fn lookup(&self, keys: &[u64], out: &mut Tensor, parallel: bool) -> Vec<bool> {
+        assert_eq!(out.shape(), (keys.len(), self.dim), "output tensor shape mismatch");
+        self.lookups.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let dim = self.dim;
+        let mut mask = vec![false; keys.len()];
+        let fetch = |key: u64, row: &mut [f32], hit: &mut bool| {
+            let shard = self.shards[shard_of(key)].read();
+            if let Some(v) = shard.get(&key) {
+                row.copy_from_slice(v);
+                *hit = true;
+            }
+        };
+        if parallel && keys.len() >= 256 {
+            out.as_mut_slice()
+                .par_chunks_mut(dim)
+                .zip(mask.par_iter_mut())
+                .zip(keys.par_iter())
+                .for_each(|((row, hit), &key)| fetch(key, row, hit));
+        } else {
+            for ((row, hit), &key) in
+                out.as_mut_slice().chunks_mut(dim).zip(mask.iter_mut()).zip(keys)
+            {
+                fetch(key, row, hit);
+            }
+        }
+        let n_hits = mask.iter().filter(|&&h| h).count() as u64;
+        self.hits.fetch_add(n_hits, Ordering::Relaxed);
+        mask
+    }
+
+    /// `CacheStore` (Algorithm 3): evicts FIFO-oldest entries if the new
+    /// rows would exceed the limit, then inserts row `i` of `h` under
+    /// `keys[i]`. Re-storing an existing key overwrites in place without
+    /// growing the FIFO.
+    pub fn store(&self, keys: &[u64], h: &Tensor, parallel: bool) {
+        assert_eq!(h.shape(), (keys.len(), self.dim), "stored tensor shape mismatch");
+        if keys.is_empty() {
+            return;
+        }
+        let incoming = keys.len().min(self.limit);
+        // If a single store call exceeds the whole limit, keep the newest.
+        let skip = keys.len() - incoming;
+        // Only keys not already cached consume capacity: overwrites keep
+        // their slot, and repeated keys within one call insert once.
+        let fresh_count = {
+            let mut seen = rustc_hash::FxHashSet::default();
+            keys[skip..]
+                .iter()
+                .filter(|&&k| seen.insert(k) && !self.contains(k))
+                .count()
+        };
+        let cur = self.count.load(Ordering::Relaxed);
+        if cur + fresh_count > self.limit {
+            self.evict((cur + fresh_count).saturating_sub(self.limit));
+        }
+
+        let insert_one = |key: u64, row: &[f32]| -> bool {
+            let mut shard = self.shards[shard_of(key)].write();
+            shard.insert(key, row.into()).is_none()
+        };
+        if parallel && incoming >= 256 {
+            let fresh: Vec<u64> = keys[skip..]
+                .par_iter()
+                .zip(h.as_slice()[skip * self.dim..].par_chunks(self.dim))
+                .filter_map(|(&key, row)| insert_one(key, row).then_some(key))
+                .collect();
+            self.finish_store(fresh, keys.len());
+        } else {
+            let mut fresh = Vec::with_capacity(incoming);
+            for (&key, row) in keys[skip..]
+                .iter()
+                .zip(h.as_slice()[skip * self.dim..].chunks(self.dim))
+            {
+                if insert_one(key, row) {
+                    fresh.push(key);
+                }
+            }
+            self.finish_store(fresh, keys.len());
+        }
+    }
+
+    fn finish_store(&self, fresh: Vec<u64>, attempted: usize) {
+        self.stores.fetch_add(attempted as u64, Ordering::Relaxed);
+        if fresh.is_empty() {
+            return;
+        }
+        self.count.fetch_add(fresh.len(), Ordering::Relaxed);
+        {
+            let mut fifo = self.fifo.lock();
+            fifo.extend(fresh);
+        }
+        // Concurrent stores may each have passed the pre-insert capacity
+        // check; a corrective eviction keeps the limit a hard bound.
+        let over = self.count.load(Ordering::Relaxed).saturating_sub(self.limit);
+        if over > 0 {
+            self.evict(over);
+        }
+    }
+
+    /// True if `key` is currently cached.
+    pub fn contains(&self, key: u64) -> bool {
+        self.shards[shard_of(key)].read().contains_key(&key)
+    }
+
+    /// Snapshot of all live entries in FIFO (oldest-first) order, for
+    /// persistence. Stale queue slots (invalidated entries) are skipped.
+    pub fn export_fifo_order(&self) -> Vec<(u64, Box<[f32]>)> {
+        let fifo = self.fifo.lock();
+        let mut out = Vec::with_capacity(self.len());
+        for &key in fifo.iter() {
+            if let Some(v) = self.shards[shard_of(key)].read().get(&key) {
+                out.push((key, v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Removes the `n` oldest entries.
+    fn evict(&self, n: usize) {
+        let mut fifo = self.fifo.lock();
+        let mut removed = 0usize;
+        // Stale FIFO entries (already invalidated) don't free capacity, so
+        // keep popping until n live entries are gone.
+        while removed < n {
+            let Some(key) = fifo.pop_front() else { break };
+            let mut shard = self.shards[shard_of(key)].write();
+            if shard.remove(&key).is_some() {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.count.fetch_sub(removed, Ordering::Relaxed);
+            self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every cached embedding of `node` (future-work §7: graph change
+    /// events such as node-feature updates or edge deletion invalidate the
+    /// node's embeddings). Returns how many entries were removed.
+    pub fn invalidate_node(&self, node: NodeId) -> usize {
+        let mut removed = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            let before = shard.len();
+            shard.retain(|&key, _| unpack_key(key).0 != node);
+            removed += before - shard.len();
+        }
+        if removed > 0 {
+            self.count.fetch_sub(removed, Ordering::Relaxed);
+        }
+        // Stale FIFO entries are skipped lazily during eviction.
+        removed
+    }
+
+    /// Removes everything.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.fifo.lock().clear();
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// Current number of cached embeddings.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Item limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Approximate payload memory (embedding floats only), in bytes.
+    pub fn bytes_used(&self) -> usize {
+        self.len() * self.dim * std::mem::size_of::<f32>()
+    }
+
+    /// Total keys looked up.
+    pub fn total_lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup hits.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total rows passed to `store`.
+    pub fn total_stores(&self) -> u64 {
+        self.stores.load(Ordering::Relaxed)
+    }
+
+    /// Total evicted entries.
+    pub fn total_evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let l = self.total_lookups();
+        if l == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / l as f64
+        }
+    }
+}
+
+/// One [`EmbedCache`] per cached model layer.
+///
+/// The memoization key is `(node, time)` (§4.1); embeddings of the *same*
+/// target at *different layers* differ, so each cached layer gets its own
+/// table — sharing one key space across layers would let a layer-1 lookup
+/// return a layer-2 embedding. With the paper's configuration (2 layers,
+/// last layer uncached) exactly one table exists, matching the paper's
+/// single-cache design; deeper models split the item budget evenly.
+pub struct LayerCaches {
+    per_layer: Vec<Option<EmbedCache>>,
+}
+
+impl LayerCaches {
+    /// Caches for layers `1..=top` where `top = n_layers - 1` (or
+    /// `n_layers` when `cache_last_layer` is set), sharing `total_limit`
+    /// items between them.
+    pub fn new(n_layers: usize, cache_last_layer: bool, total_limit: usize, dim: usize) -> Self {
+        assert!(n_layers >= 1);
+        let top = if cache_last_layer { n_layers } else { n_layers - 1 };
+        let count = top; // layers 1..=top
+        let per = total_limit.checked_div(count).map_or(0, |p| p.max(1));
+        let per_layer = (0..=n_layers)
+            .map(|l| (l >= 1 && l <= top).then(|| EmbedCache::new(per, dim)))
+            .collect();
+        Self { per_layer }
+    }
+
+    /// Rebuilds from explicit per-layer caches (index = layer); used by the
+    /// persistence module.
+    pub fn from_parts(per_layer: Vec<Option<EmbedCache>>) -> Self {
+        Self { per_layer }
+    }
+
+    /// Highest addressable layer index (the model's `L`).
+    pub fn num_layers(&self) -> usize {
+        self.per_layer.len().saturating_sub(1)
+    }
+
+    /// The cache for layer `l`, if that layer is cached.
+    pub fn layer(&self, l: usize) -> Option<&EmbedCache> {
+        self.per_layer.get(l).and_then(|c| c.as_ref())
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &EmbedCache> {
+        self.per_layer.iter().flatten()
+    }
+
+    /// Total cached embeddings across layers.
+    pub fn len(&self) -> usize {
+        self.iter().map(|c| c.len()).sum()
+    }
+
+    /// True if nothing is cached anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes across layers.
+    pub fn bytes_used(&self) -> usize {
+        self.iter().map(|c| c.bytes_used()).sum()
+    }
+
+    /// Total evictions across layers.
+    pub fn total_evictions(&self) -> u64 {
+        self.iter().map(|c| c.total_evictions()).sum()
+    }
+
+    /// Summed item limits across layers.
+    pub fn limit(&self) -> usize {
+        self.iter().map(|c| c.limit()).sum()
+    }
+
+    /// Embedding dimension (uniform across layers); `None` if no layer is
+    /// cached.
+    pub fn dim(&self) -> Option<usize> {
+        self.iter().next().map(|c| c.dim())
+    }
+
+    /// Invalidates `node` in every layer; returns total removals.
+    pub fn invalidate_node(&self, node: NodeId) -> usize {
+        self.iter().map(|c| c.invalidate_node(node)).sum()
+    }
+
+    /// Clears every layer.
+    pub fn clear(&self) {
+        for c in self.iter() {
+            c.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::pack_key;
+
+    fn row_tensor(rows: &[&[f32]]) -> Tensor {
+        let cols = rows[0].len();
+        let mut data = Vec::new();
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Tensor::from_vec(rows.len(), cols, data)
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrip() {
+        let cache = EmbedCache::new(10, 3);
+        let keys = [pack_key(1, 1.0), pack_key(2, 1.0)];
+        cache.store(&keys, &row_tensor(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]), false);
+        let mut out = Tensor::zeros(3, 3);
+        let mask =
+            cache.lookup(&[keys[1], pack_key(9, 9.0), keys[0]], &mut out, false);
+        assert_eq!(mask, vec![true, false, true]);
+        assert_eq!(out.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0, 0.0]);
+        assert_eq!(out.row(2), &[1.0, 2.0, 3.0]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.total_hits(), 2);
+        assert_eq!(cache.total_lookups(), 3);
+    }
+
+    #[test]
+    fn fifo_eviction_keeps_newest() {
+        let cache = EmbedCache::new(3, 1);
+        for i in 0..5u32 {
+            cache.store(&[pack_key(i, 0.0)], &Tensor::from_vec(1, 1, vec![i as f32]), false);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.total_evictions(), 2);
+        let mut out = Tensor::zeros(5, 1);
+        let keys: Vec<u64> = (0..5u32).map(|i| pack_key(i, 0.0)).collect();
+        let mask = cache.lookup(&keys, &mut out, false);
+        assert_eq!(mask, vec![false, false, true, true, true]);
+    }
+
+    #[test]
+    fn never_exceeds_limit() {
+        let cache = EmbedCache::new(7, 2);
+        for batch in 0..20u32 {
+            let keys: Vec<u64> = (0..5u32).map(|i| pack_key(batch * 5 + i, 0.0)).collect();
+            let h = Tensor::zeros(5, 2);
+            cache.store(&keys, &h, false);
+            assert!(cache.len() <= 7, "len {} exceeds limit", cache.len());
+        }
+    }
+
+    #[test]
+    fn oversized_single_store_keeps_newest_rows() {
+        let cache = EmbedCache::new(2, 1);
+        let keys: Vec<u64> = (0..4u32).map(|i| pack_key(i, 0.0)).collect();
+        let h = Tensor::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        cache.store(&keys, &h, false);
+        assert_eq!(cache.len(), 2);
+        let mut out = Tensor::zeros(4, 1);
+        let mask = cache.lookup(&keys, &mut out, false);
+        assert_eq!(mask, vec![false, false, true, true]);
+        assert_eq!(out.row(3), &[3.0]);
+    }
+
+    #[test]
+    fn duplicate_store_overwrites_without_growth() {
+        let cache = EmbedCache::new(5, 1);
+        let k = [pack_key(1, 2.0)];
+        cache.store(&k, &Tensor::from_vec(1, 1, vec![1.0]), false);
+        cache.store(&k, &Tensor::from_vec(1, 1, vec![9.0]), false);
+        assert_eq!(cache.len(), 1);
+        let mut out = Tensor::zeros(1, 1);
+        assert_eq!(cache.lookup(&k, &mut out, false), vec![true]);
+        assert_eq!(out.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_lookup_agree() {
+        let cache = EmbedCache::new(2000, 4);
+        let keys: Vec<u64> = (0..1000u32).map(|i| pack_key(i, i as f32)).collect();
+        let data: Vec<f32> = (0..4000).map(|i| i as f32).collect();
+        cache.store(&keys, &Tensor::from_vec(1000, 4, data), true);
+        let probe: Vec<u64> = (0..1500u32).map(|i| pack_key(i, i as f32)).collect();
+        let mut seq = Tensor::zeros(1500, 4);
+        let mut par = Tensor::zeros(1500, 4);
+        let m1 = cache.lookup(&probe, &mut seq, false);
+        let m2 = cache.lookup(&probe, &mut par, true);
+        assert_eq!(m1, m2);
+        assert_eq!(seq.as_slice(), par.as_slice());
+        assert_eq!(m1.iter().filter(|&&h| h).count(), 1000);
+    }
+
+    #[test]
+    fn invalidate_node_removes_all_times() {
+        let cache = EmbedCache::new(10, 1);
+        cache.store(
+            &[pack_key(1, 1.0), pack_key(1, 2.0), pack_key(2, 1.0)],
+            &Tensor::zeros(3, 1),
+            false,
+        );
+        assert_eq!(cache.invalidate_node(1), 2);
+        assert_eq!(cache.len(), 1);
+        let mut out = Tensor::zeros(3, 1);
+        let mask = cache.lookup(
+            &[pack_key(1, 1.0), pack_key(1, 2.0), pack_key(2, 1.0)],
+            &mut out,
+            false,
+        );
+        assert_eq!(mask, vec![false, false, true]);
+    }
+
+    #[test]
+    fn eviction_skips_invalidated_entries() {
+        let cache = EmbedCache::new(3, 1);
+        for i in 0..3u32 {
+            cache.store(&[pack_key(i, 0.0)], &Tensor::zeros(1, 1), false);
+        }
+        cache.invalidate_node(0);
+        assert_eq!(cache.len(), 2);
+        // Storing two more must evict exactly one live entry (key 1) while
+        // skipping the stale FIFO slot for key 0.
+        cache.store(&[pack_key(10, 0.0), pack_key(11, 0.0)], &Tensor::zeros(2, 1), false);
+        assert!(cache.len() <= 3);
+        let mut out = Tensor::zeros(1, 1);
+        assert_eq!(cache.lookup(&[pack_key(11, 0.0)], &mut out, false), vec![true]);
+    }
+
+    #[test]
+    fn layer_caches_default_config_has_single_table() {
+        // 2 layers, last layer uncached => only layer 1 is cached, with the
+        // full budget (the paper's configuration).
+        let lc = LayerCaches::new(2, false, 100, 4);
+        assert!(lc.layer(0).is_none(), "layer 0 is feature lookup, never cached");
+        assert!(lc.layer(1).is_some());
+        assert!(lc.layer(2).is_none());
+        assert_eq!(lc.limit(), 100);
+        assert_eq!(lc.dim(), Some(4));
+        assert!(lc.is_empty());
+    }
+
+    #[test]
+    fn layer_caches_split_budget_when_caching_all_layers() {
+        let lc = LayerCaches::new(3, true, 90, 4);
+        assert!(lc.layer(1).is_some() && lc.layer(2).is_some() && lc.layer(3).is_some());
+        assert_eq!(lc.limit(), 90);
+        assert_eq!(lc.layer(1).unwrap().limit(), 30);
+    }
+
+    #[test]
+    fn layer_caches_same_key_different_layers_do_not_collide() {
+        let lc = LayerCaches::new(2, true, 100, 1);
+        let key = [pack_key(5, 3.0)];
+        lc.layer(1).unwrap().store(&key, &Tensor::from_vec(1, 1, vec![1.0]), false);
+        lc.layer(2).unwrap().store(&key, &Tensor::from_vec(1, 1, vec![2.0]), false);
+        let mut o1 = Tensor::zeros(1, 1);
+        let mut o2 = Tensor::zeros(1, 1);
+        assert_eq!(lc.layer(1).unwrap().lookup(&key, &mut o1, false), vec![true]);
+        assert_eq!(lc.layer(2).unwrap().lookup(&key, &mut o2, false), vec![true]);
+        assert_eq!(o1.get(0, 0), 1.0);
+        assert_eq!(o2.get(0, 0), 2.0);
+        assert_eq!(lc.len(), 2);
+    }
+
+    #[test]
+    fn layer_caches_aggregate_invalidation_and_clear() {
+        let lc = LayerCaches::new(2, true, 100, 1);
+        lc.layer(1).unwrap().store(&[pack_key(5, 1.0)], &Tensor::zeros(1, 1), false);
+        lc.layer(2).unwrap().store(&[pack_key(5, 2.0)], &Tensor::zeros(1, 1), false);
+        assert_eq!(lc.invalidate_node(5), 2);
+        lc.layer(1).unwrap().store(&[pack_key(6, 1.0)], &Tensor::zeros(1, 1), false);
+        lc.clear();
+        assert!(lc.is_empty());
+        assert_eq!(lc.bytes_used(), 0);
+    }
+
+    #[test]
+    fn single_layer_model_without_last_layer_caching_caches_nothing() {
+        let lc = LayerCaches::new(1, false, 100, 4);
+        assert!(lc.layer(1).is_none());
+        assert_eq!(lc.dim(), None);
+        assert_eq!(lc.limit(), 0);
+    }
+
+    #[test]
+    fn clear_and_bytes_used() {
+        let cache = EmbedCache::new(10, 8);
+        cache.store(&[pack_key(1, 1.0)], &Tensor::zeros(1, 8), false);
+        assert_eq!(cache.bytes_used(), 32);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes_used(), 0);
+    }
+}

@@ -1,0 +1,577 @@
+//! The optimized inference engine (Algorithm 1).
+//!
+//! `TgoptEngine` is a drop-in replacement for `tgat::BaselineEngine`: same
+//! inputs, same outputs within floating-point tolerance, with deduplication,
+//! memoization, and time-encoding precomputation layered in front of the
+//! original computation.
+
+use crate::cache::LayerCaches;
+use crate::config::{OptConfig, TimeCacheKind};
+use crate::dedup::{dedup_filter, dedup_invert};
+use crate::hash::compute_keys;
+use crate::timecache::{HashTimeCache, TimeCache};
+use tg_graph::{NodeId, SamplingStrategy, TemporalSampler, Time};
+use tg_tensor::{ops, Tensor};
+use tgat::attention::{self, AttentionInputs};
+use tgat::engine::GraphContext;
+use std::sync::Arc;
+use tgat::{OpKind, OpStats, TgatParams};
+
+/// Cumulative reuse counters (drive Figures 3 and 7 and Table 3's hit rate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Keys probed against the embedding cache.
+    pub cache_lookups: u64,
+    /// Probes that hit (embeddings reused instead of recomputed).
+    pub cache_hits: u64,
+    /// Embeddings stored after recomputation.
+    pub cache_stores: u64,
+    /// Unique targets whose embedding had to be recomputed.
+    pub recomputed: u64,
+    /// Duplicate targets removed by the dedup filter.
+    pub dedup_removed: u64,
+}
+
+impl EngineCounters {
+    /// Elementwise difference (for per-batch deltas).
+    pub fn delta_since(&self, earlier: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            cache_lookups: self.cache_lookups - earlier.cache_lookups,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_stores: self.cache_stores - earlier.cache_stores,
+            recomputed: self.recomputed - earlier.recomputed,
+            dedup_removed: self.dedup_removed - earlier.dedup_removed,
+        }
+    }
+
+    /// Hit rate over these counters (0 if nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+}
+
+/// The configured time-encoding reuse structure (§4.3): either the paper's
+/// dense precomputed window or the hash-memoization alternative (an
+/// ablation of that design choice — see DESIGN.md).
+enum TimeCacheImpl {
+    Dense(TimeCache),
+    Hash { cache: HashTimeCache, zero_row: Vec<f32> },
+}
+
+impl TimeCacheImpl {
+    fn new(encoder: &tgat::TimeEncoder, opt: &OptConfig) -> Self {
+        match opt.time_cache_kind {
+            TimeCacheKind::DenseWindow => {
+                Self::Dense(TimeCache::precompute(encoder, opt.time_window.max(1)))
+            }
+            TimeCacheKind::Hash => Self::Hash {
+                cache: HashTimeCache::new(opt.time_window.max(1)),
+                zero_row: encoder.encode_one(0.0).into_vec(),
+            },
+        }
+    }
+
+    fn encode(&mut self, encoder: &tgat::TimeEncoder, dts: &[f32]) -> Tensor {
+        match self {
+            Self::Dense(c) => c.encode(encoder, dts),
+            Self::Hash { cache, .. } => cache.encode(encoder, dts),
+        }
+    }
+
+    /// `Phi(0)` broadcast from the ahead-of-time row (both variants
+    /// precompute it once, per §3.3).
+    fn encode_zeros(&self, n: usize) -> Tensor {
+        match self {
+            Self::Dense(c) => c.encode_zeros(n),
+            Self::Hash { zero_row, .. } => {
+                let d = zero_row.len();
+                let mut out = Tensor::zeros(n, d);
+                for r in 0..n {
+                    out.row_mut(r).copy_from_slice(zero_row);
+                }
+                out
+            }
+        }
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        match self {
+            Self::Dense(c) => (c.hits(), c.misses()),
+            Self::Hash { cache, .. } => (cache.hits(), cache.misses()),
+        }
+    }
+}
+
+/// TGOpt's redundancy-aware TGAT inference engine.
+pub struct TgoptEngine<'a> {
+    params: &'a TgatParams,
+    ctx: GraphContext<'a>,
+    sampler: TemporalSampler,
+    opt: OptConfig,
+    caches: Arc<LayerCaches>,
+    timecache: TimeCacheImpl,
+    stats: OpStats,
+    counters: EngineCounters,
+}
+
+impl<'a> TgoptEngine<'a> {
+    /// Builds an engine with the model's configured most-recent sampler.
+    pub fn new(params: &'a TgatParams, ctx: GraphContext<'a>, opt: OptConfig) -> Self {
+        let sampler = TemporalSampler::most_recent(params.cfg.n_neighbors);
+        Self::with_sampler(params, ctx, opt, sampler)
+    }
+
+    /// Builds an engine with a custom sampler. With a non-deterministic
+    /// strategy (uniform sampling) the embedding cache is automatically
+    /// bypassed — memoization is only sound under most-recent sampling
+    /// (§3.2 / §7).
+    pub fn with_sampler(
+        params: &'a TgatParams,
+        ctx: GraphContext<'a>,
+        opt: OptConfig,
+        sampler: TemporalSampler,
+    ) -> Self {
+        let timecache = TimeCacheImpl::new(&params.time, &opt);
+        Self {
+            params,
+            ctx,
+            sampler,
+            opt,
+            caches: Arc::new(LayerCaches::new(
+                params.cfg.n_layers,
+                opt.cache_last_layer,
+                opt.cache_limit.max(1),
+                params.cfg.dim,
+            )),
+            timecache,
+            stats: OpStats::disabled(),
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// Rebuilds an engine around an existing cache (and counters), e.g.
+    /// after the graph grew and a new [`GraphContext`] borrow is needed.
+    /// The caller is responsible for invalidating entries whose history
+    /// changed semantically (most-recent sampling makes pure *additions*
+    /// safe, §3.2; deletions require [`TgoptEngine::invalidate_node`]).
+    pub fn with_cache(
+        params: &'a TgatParams,
+        ctx: GraphContext<'a>,
+        opt: OptConfig,
+        caches: Arc<LayerCaches>,
+        counters: EngineCounters,
+    ) -> Self {
+        if let Some(dim) = caches.dim() {
+            assert_eq!(dim, params.cfg.dim, "cache dimension mismatch");
+        }
+        let mut eng = Self::new(params, ctx, opt);
+        eng.caches = caches;
+        eng.counters = counters;
+        eng
+    }
+
+    /// Tears the engine down, releasing the cache and counters for reuse
+    /// with [`TgoptEngine::with_cache`].
+    pub fn into_cache(self) -> (Arc<LayerCaches>, EngineCounters) {
+        (self.caches, self.counters)
+    }
+
+    /// A shareable handle to the engine's caches. Multiple engines (e.g.
+    /// one per serving thread) built over the same graph may share caches
+    /// via [`TgoptEngine::with_cache`]: the tables are sharded and
+    /// internally synchronized, and memoized values are deterministic
+    /// functions of their key, so concurrent readers/writers always observe
+    /// correct embeddings.
+    pub fn shared_cache(&self) -> Arc<LayerCaches> {
+        Arc::clone(&self.caches)
+    }
+
+    /// Turns on per-operation timing (Table 3 reproduction).
+    pub fn enable_stats(&mut self) {
+        self.stats = OpStats::enabled();
+    }
+
+    /// Accumulated operation timings.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// Cumulative reuse counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// The per-layer embedding caches (for memory accounting and
+    /// invalidation).
+    pub fn cache(&self) -> &LayerCaches {
+        &self.caches
+    }
+
+    /// Hit/miss counters of the time-encoding cache `(hits, misses)`.
+    pub fn time_cache_stats(&self) -> (u64, u64) {
+        self.timecache.stats()
+    }
+
+    /// Hit rate of the time-encoding cache.
+    pub fn time_cache_hit_rate(&self) -> f64 {
+        let (h, m) = self.timecache.stats();
+        if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 }
+    }
+
+    /// The active optimization configuration.
+    pub fn opt_config(&self) -> &OptConfig {
+        &self.opt
+    }
+
+    /// Invalidate all cached embeddings of `node` — called by the holder
+    /// after a graph-change event that alters the node's history semantics
+    /// (edge deletion, node-feature update; future-work §7).
+    pub fn invalidate_node(&mut self, node: NodeId) -> usize {
+        self.caches.invalidate_node(node)
+    }
+
+    /// Invalidation for the deletion of an edge between `src` and `dst`
+    /// (future-work §7), correct for *any* model depth: a cached layer-`l`
+    /// embedding of node `X` can embed the deleted interaction when `X` is
+    /// within `l - 1` hops of either endpoint, so every node within
+    /// `max_cached_layer - 1` hops is invalidated (conservatively across all
+    /// cached layers). For the paper's 2-layer configuration this reduces to
+    /// invalidating the two endpoints.
+    ///
+    /// Call *after* removing the edge from the graph; the hop expansion only
+    /// shrinks with the deletion, so post-deletion expansion plus the
+    /// endpoints themselves covers every affected node.
+    pub fn invalidate_edge_deletion(&mut self, src: NodeId, dst: NodeId) -> usize {
+        let max_cached = if self.opt.cache_last_layer {
+            self.params.cfg.n_layers
+        } else {
+            self.params.cfg.n_layers.saturating_sub(1)
+        };
+        let hops = max_cached.saturating_sub(1);
+        let mut victims: Vec<NodeId> = self.ctx.graph.k_hop_nodes(src, hops);
+        victims.extend(self.ctx.graph.k_hop_nodes(dst, hops));
+        victims.sort_unstable();
+        victims.dedup();
+        victims.iter().map(|&n| self.caches.invalidate_node(n)).sum()
+    }
+
+    /// True if memoization is actually in effect (enabled *and* sound under
+    /// the configured sampling strategy).
+    pub fn memoization_active(&self) -> bool {
+        self.opt.enable_cache && self.sampler.strategy() == SamplingStrategy::MostRecent
+    }
+
+    /// Computes final-layer temporal embeddings for `(ns[i], ts[i])` targets.
+    /// Drop-in equivalent of `BaselineEngine::embed_batch`.
+    pub fn embed_batch(&mut self, ns: &[NodeId], ts: &[Time]) -> Tensor {
+        self.embed(self.params.cfg.n_layers, ns, ts)
+    }
+
+    fn embed(&mut self, l: usize, ns: &[NodeId], ts: &[Time]) -> Tensor {
+        debug_assert_eq!(ns.len(), ts.len());
+        let cfg = &self.params.cfg;
+        if l == 0 {
+            // Layer 0 only gathers static features; dedup would cost more
+            // than the lookup it saves (§4.1).
+            return self.ctx.gather_node_features(ns);
+        }
+        if ns.is_empty() {
+            return Tensor::zeros(0, cfg.dim);
+        }
+
+        // §4.1 DedupFilter.
+        let dedup = if self.opt.enable_dedup {
+            let r = self.stats.time(OpKind::DedupFilter, || dedup_filter(ns, ts));
+            self.counters.dedup_removed += (ns.len() - r.num_unique()) as u64;
+            Some(r)
+        } else {
+            None
+        };
+        let (uns, uts): (&[NodeId], &[Time]) = match &dedup {
+            Some(r) => (&r.ns, &r.ts),
+            None => (ns, ts),
+        };
+        let n_uniq = uns.len();
+        let mut h = Tensor::zeros(n_uniq, cfg.dim);
+
+        // §4.2 memoization — sound only under most-recent sampling, and the
+        // last layer is skipped unless configured otherwise. Each cached
+        // layer has its own table: keys identify a (node, time) target, not
+        // a layer.
+        let use_cache = self.memoization_active() && self.caches.layer(l).is_some();
+        let (keys, hit_mask) = if use_cache {
+            let parallel = self.opt.parallel_lookup;
+            let keys = self
+                .stats
+                .time(OpKind::ComputeKeys, || compute_keys(uns, uts, parallel));
+            let cache = self.caches.layer(l).expect("checked above");
+            let hit_mask = self
+                .stats
+                .time(OpKind::CacheLookup, || cache.lookup(&keys, &mut h, parallel));
+            self.counters.cache_lookups += n_uniq as u64;
+            self.counters.cache_hits += hit_mask.iter().filter(|&&m| m).count() as u64;
+            (keys, hit_mask)
+        } else {
+            (Vec::new(), vec![false; n_uniq])
+        };
+
+        let miss_idx: Vec<usize> =
+            (0..n_uniq).filter(|&i| !hit_mask[i]).collect();
+        if !miss_idx.is_empty() {
+            let m_ns: Vec<NodeId> = miss_idx.iter().map(|&i| uns[i]).collect();
+            let m_ts: Vec<Time> = miss_idx.iter().map(|&i| uts[i]).collect();
+
+            let (graph, sampler) = (self.ctx.graph, &self.sampler);
+            let nb = self.stats.time(OpKind::NghLookup, || sampler.sample(graph, &m_ns, &m_ts));
+
+            let mut all_ns = m_ns.clone();
+            all_ns.extend_from_slice(&nb.nodes);
+            let mut all_ts = m_ts.clone();
+            all_ts.extend_from_slice(&nb.times);
+            let h_prev = self.embed(l - 1, &all_ns, &all_ts);
+            let (h_src, h_ngh) = ops::split_rows(&h_prev, m_ns.len());
+
+            // §4.3 precomputed time encodings.
+            let params = self.params;
+            let ht0 = if self.opt.enable_time_precompute {
+                let timecache = &self.timecache;
+                self.stats
+                    .time(OpKind::TimeEncodeZero, || timecache.encode_zeros(m_ns.len()))
+            } else {
+                self.stats
+                    .time(OpKind::TimeEncodeZero, || params.time.encode_zeros(m_ns.len()))
+            };
+            let ht = if self.opt.enable_time_precompute {
+                let timecache = &mut self.timecache;
+                self.stats
+                    .time(OpKind::TimeEncodeDt, || timecache.encode(&params.time, &nb.dts))
+            } else {
+                self.stats.time(OpKind::TimeEncodeDt, || params.time.encode(&nb.dts))
+            };
+            let e_feat = self.ctx.gather_edge_features(&nb.eids);
+            let mask = nb.mask();
+
+            let layer = &self.params.layers[l - 1];
+            let h_m = self.stats.time(OpKind::Attention, || {
+                attention::forward(
+                    layer,
+                    cfg,
+                    &AttentionInputs {
+                        h_src: &h_src,
+                        ht0: &ht0,
+                        h_ngh: &h_ngh,
+                        e_feat: &e_feat,
+                        ht: &ht,
+                        mask: &mask,
+                    },
+                )
+            });
+
+            if use_cache {
+                let miss_keys: Vec<u64> = miss_idx.iter().map(|&i| keys[i]).collect();
+                let cache = self.caches.layer(l).expect("checked above");
+                let parallel = self.opt.parallel_store;
+                self.stats
+                    .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel));
+                self.counters.cache_stores += miss_keys.len() as u64;
+            }
+            self.counters.recomputed += miss_idx.len() as u64;
+
+            // Copy recomputed rows into their unique-array positions.
+            for (src_row, &dst) in miss_idx.iter().enumerate() {
+                let row = h_m.row(src_row).to_vec();
+                h.row_mut(dst).copy_from_slice(&row);
+            }
+        }
+
+        // §4.1 DedupInvert: expand back to the original batch layout.
+        match &dedup {
+            Some(r) => self.stats.time(OpKind::DedupInvert, || dedup_invert(&h, &r.inv_idx)),
+            None => h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::{EdgeStream, TemporalGraph};
+    use tg_tensor::init;
+    use tgat::{BaselineEngine, TgatConfig};
+
+    fn world(cfg: TgatConfig, n_nodes: usize, n_edges: usize) -> (TemporalGraph, Tensor, Tensor) {
+        let mut srcs = Vec::new();
+        let mut dsts = Vec::new();
+        let mut times = Vec::new();
+        for i in 0..n_edges {
+            srcs.push((i % n_nodes) as NodeId);
+            dsts.push(((i * 3 + 1) % n_nodes) as NodeId);
+            times.push((i + 1) as Time);
+        }
+        let stream = EdgeStream::new(&srcs, &dsts, &times);
+        let graph = TemporalGraph::from_stream(&stream);
+        let mut rng = init::seeded_rng(5);
+        let nf = init::normal(&mut rng, n_nodes, cfg.dim, 0.5);
+        let ef = init::normal(&mut rng, n_edges, cfg.edge_dim, 0.5);
+        (graph, nf, ef)
+    }
+
+    fn assert_matches_baseline(opt: OptConfig) {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7);
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let mut base = BaselineEngine::new(&params, ctx);
+        let mut tgopt = TgoptEngine::new(&params, ctx, opt);
+        // Several batches with heavy duplication and recurring targets.
+        for round in 0..4 {
+            let t = 40.0 + round as Time * 5.0;
+            let ns: Vec<NodeId> = vec![0, 1, 2, 0, 1, 5, 0];
+            let ts: Vec<Time> = vec![t, t, t + 1.0, t, t, t, t];
+            let hb = base.embed_batch(&ns, &ts);
+            let ho = tgopt.embed_batch(&ns, &ts);
+            let diff = hb.max_abs_diff(&ho);
+            assert!(diff < 1e-4, "round {round}: max diff {diff} vs baseline ({opt:?})");
+        }
+    }
+
+    #[test]
+    fn all_optimizations_preserve_semantics() {
+        assert_matches_baseline(OptConfig::all());
+    }
+
+    #[test]
+    fn each_ablation_stage_preserves_semantics() {
+        assert_matches_baseline(OptConfig::none());
+        assert_matches_baseline(OptConfig::cache_only());
+        assert_matches_baseline(OptConfig::cache_dedup());
+        assert_matches_baseline(OptConfig { enable_dedup: true, enable_cache: false, enable_time_precompute: false, ..OptConfig::all() });
+        assert_matches_baseline(OptConfig { enable_dedup: false, enable_cache: false, enable_time_precompute: true, ..OptConfig::all() });
+    }
+
+    #[test]
+    fn cache_last_layer_also_preserves_semantics() {
+        assert_matches_baseline(OptConfig { cache_last_layer: true, ..OptConfig::all() });
+    }
+
+    #[test]
+    fn tiny_cache_limit_preserves_semantics() {
+        assert_matches_baseline(OptConfig::all().with_cache_limit(4));
+        assert_matches_baseline(OptConfig::all().with_time_window(2));
+    }
+
+    #[test]
+    fn hash_time_cache_preserves_semantics() {
+        use crate::config::TimeCacheKind;
+        assert_matches_baseline(OptConfig::all().with_time_cache_kind(TimeCacheKind::Hash));
+        assert_matches_baseline(
+            OptConfig::all().with_time_cache_kind(TimeCacheKind::Hash).with_time_window(3),
+        );
+    }
+
+    #[test]
+    fn time_cache_stats_accumulate() {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7);
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
+        let _ = eng.embed_batch(&[0, 1], &[50.0, 51.0]);
+        let (h, m) = eng.time_cache_stats();
+        assert!(h + m > 0, "time encoder must have been exercised");
+        assert!(eng.time_cache_hit_rate() >= 0.0);
+    }
+
+    #[test]
+    fn repeated_batches_hit_the_cache() {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7);
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
+        let ns: Vec<NodeId> = vec![0, 1, 2, 3];
+        let ts: Vec<Time> = vec![50.0; 4];
+        let h1 = eng.embed_batch(&ns, &ts);
+        let before = eng.counters();
+        let h2 = eng.embed_batch(&ns, &ts);
+        let delta = eng.counters().delta_since(&before);
+        assert_eq!(h1.max_abs_diff(&h2), 0.0, "cached results must be bit-identical");
+        assert!(delta.cache_hits > 0, "second pass should reuse: {delta:?}");
+        // The final layer is not cached (§4.2.2), so exactly the 4 top-level
+        // targets recompute; every layer-1 embedding comes from the cache.
+        assert_eq!(delta.recomputed, 4, "only the uncached top layer recomputes");
+        assert_eq!(delta.cache_hits, delta.cache_lookups, "all layer-1 lookups hit");
+        assert_eq!(delta.cache_stores, 0, "nothing new to store on the second pass");
+    }
+
+    #[test]
+    fn uniform_sampling_bypasses_cache() {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7);
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let sampler = TemporalSampler::new(cfg.n_neighbors, SamplingStrategy::Uniform { seed: 3 });
+        let mut eng = TgoptEngine::with_sampler(&params, ctx, OptConfig::all(), sampler);
+        assert!(!eng.memoization_active());
+        let _ = eng.embed_batch(&[0, 1], &[50.0, 50.0]);
+        let c = eng.counters();
+        assert_eq!(c.cache_lookups, 0);
+        assert_eq!(c.cache_stores, 0);
+        // Dedup still applies (it is always sound).
+        assert!(eng.cache().is_empty());
+    }
+
+    #[test]
+    fn counters_track_dedup_and_recompute() {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7);
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
+        let _ = eng.embed_batch(&[4, 4, 4], &[60.0, 60.0, 60.0]);
+        let c = eng.counters();
+        assert!(c.dedup_removed >= 2, "three identical targets leave two duplicates");
+        assert!(c.recomputed > 0);
+        assert!(c.hit_rate() >= 0.0);
+    }
+
+    #[test]
+    fn invalidation_forces_recompute() {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7);
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
+        let _ = eng.embed_batch(&[0], &[50.0]);
+        let cached = eng.cache().len();
+        assert!(cached > 0);
+        let removed: usize = (0..12).map(|n| eng.invalidate_node(n)).sum();
+        assert_eq!(removed, cached);
+        let before = eng.counters();
+        let _ = eng.embed_batch(&[0], &[50.0]);
+        let delta = eng.counters().delta_since(&before);
+        assert_eq!(delta.cache_hits, 0, "invalidation must clear reuse");
+    }
+
+    #[test]
+    fn stats_cover_tgopt_specific_ops() {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7);
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
+        eng.enable_stats();
+        let _ = eng.embed_batch(&[0, 1, 0], &[50.0, 50.0, 50.0]);
+        let s = eng.stats();
+        assert!(s.count(OpKind::DedupFilter) > 0);
+        assert!(s.count(OpKind::DedupInvert) > 0);
+        assert!(s.count(OpKind::ComputeKeys) > 0);
+        assert!(s.count(OpKind::CacheLookup) > 0);
+        assert!(s.count(OpKind::CacheStore) > 0);
+        assert!(s.count(OpKind::Attention) > 0);
+    }
+}

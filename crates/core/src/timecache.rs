@@ -1,0 +1,315 @@
+//! Precomputed time encodings (§4.3).
+//!
+//! Unlike the 128-interval lookup table of prior work, TGOpt precomputes a
+//! contiguous window of deltas starting at 0, so an integral `dt` is itself
+//! the index into a dense table — no searching. Misses (deltas outside the
+//! window or non-integral) fall back to the original `Phi` computation.
+//! `Phi(0)`, used for every target (Eq. 4), is computed once ahead of time.
+
+use tg_tensor::Tensor;
+use tgat::TimeEncoder;
+
+/// Dense precomputed window of time-encoding vectors.
+///
+/// ```
+/// use tgopt::TimeCache;
+/// use tgat::TimeEncoder;
+///
+/// let encoder = TimeEncoder::new(8);
+/// let mut cache = TimeCache::precompute(&encoder, 100);
+/// // Integral deltas inside the window are served from the table ...
+/// let out = cache.encode(&encoder, &[0.0, 42.0, 250.0]);
+/// assert_eq!(cache.hits(), 2);
+/// assert_eq!(cache.misses(), 1); // 250 lies outside the window
+/// // ... and are bit-identical to the direct computation.
+/// assert_eq!(out.as_slice(), encoder.encode(&[0.0, 42.0, 250.0]).as_slice());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeCache {
+    /// Row `i` holds `Phi(i)`.
+    table: Tensor,
+    /// `Phi(0)`, kept separately for the broadcast fast path.
+    zero_row: Vec<f32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TimeCache {
+    /// Precomputes `Phi(dt)` for `dt` in `0..window` (paper default 10,000).
+    pub fn precompute(encoder: &TimeEncoder, window: usize) -> Self {
+        assert!(window > 0, "time window must be positive");
+        let dts: Vec<f32> = (0..window).map(|i| i as f32).collect();
+        let table = encoder.encode(&dts);
+        let zero_row = table.row(0).to_vec();
+        Self { table, zero_row, hits: 0, misses: 0 }
+    }
+
+    /// Window length.
+    pub fn window(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Encoding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Encodes a batch of deltas, copying precomputed rows on hits and
+    /// falling back to `encoder` for the misses (computed as one batch).
+    pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
+        let d = self.dim();
+        let window = self.window();
+        let mut out = Tensor::zeros(dts.len(), d);
+        let mut miss_rows: Vec<usize> = Vec::new();
+        let mut miss_dts: Vec<f32> = Vec::new();
+        for (r, &dt) in dts.iter().enumerate() {
+            let idx = dt as usize;
+            // Hit iff dt is a non-negative integer inside the window.
+            if dt >= 0.0 && dt.fract() == 0.0 && idx < window {
+                out.row_mut(r).copy_from_slice(self.table.row(idx));
+                self.hits += 1;
+            } else {
+                miss_rows.push(r);
+                miss_dts.push(dt);
+                self.misses += 1;
+            }
+        }
+        if !miss_rows.is_empty() {
+            let computed = encoder.encode(&miss_dts);
+            for (i, &r) in miss_rows.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(computed.row(i));
+            }
+        }
+        out
+    }
+
+    /// `Phi(0)` broadcast over `n` rows, from the precomputed row.
+    pub fn encode_zeros(&self, n: usize) -> Tensor {
+        let d = self.dim();
+        let mut out = Tensor::zeros(n, d);
+        for r in 0..n {
+            out.row_mut(r).copy_from_slice(&self.zero_row);
+        }
+        out
+    }
+
+    /// Window hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Window miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of deltas served from the window.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Lazily populated hash-table time cache — the ablation alternative to the
+/// dense window.
+///
+/// Where [`TimeCache`] precomputes a contiguous integer window (O(1) lookup,
+/// bounded memory, misses on non-integral or far deltas), this variant
+/// memoizes *any* repeated delta by its exact bit pattern, growing up to
+/// `limit` entries (then serving only what it has). Useful for data whose
+/// deltas repeat but are not small integers; slower per hit than the dense
+/// window (hash vs direct index) — `benches/micro.rs` quantifies the gap.
+#[derive(Clone, Debug, Default)]
+pub struct HashTimeCache {
+    table: rustc_hash::FxHashMap<u32, Box<[f32]>>,
+    limit: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl HashTimeCache {
+    /// An empty cache holding at most `limit` distinct deltas.
+    pub fn new(limit: usize) -> Self {
+        Self { table: Default::default(), limit: limit.max(1), ..Default::default() }
+    }
+
+    /// Number of memoized deltas.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Window hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of deltas served from memory.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Encodes a batch of deltas, memoizing newly seen values. Repeats
+    /// *within* one batch are deduplicated too: each distinct missing delta
+    /// is computed once.
+    pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
+        let d = encoder.dim();
+        let mut out = Tensor::zeros(dts.len(), d);
+        // rows to fill from the freshly computed block: (out row, block row)
+        let mut fills: Vec<(usize, usize)> = Vec::new();
+        let mut pending: rustc_hash::FxHashMap<u32, usize> = Default::default();
+        let mut miss_dts: Vec<f32> = Vec::new();
+        for (r, &dt) in dts.iter().enumerate() {
+            if let Some(row) = self.table.get(&dt.to_bits()) {
+                out.row_mut(r).copy_from_slice(row);
+                self.hits += 1;
+                continue;
+            }
+            match pending.entry(dt.to_bits()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    fills.push((r, *e.get()));
+                    self.hits += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(miss_dts.len());
+                    fills.push((r, miss_dts.len()));
+                    miss_dts.push(dt);
+                    self.misses += 1;
+                }
+            }
+        }
+        if !miss_dts.is_empty() {
+            let computed = encoder.encode(&miss_dts);
+            for &(r, block_row) in &fills {
+                out.row_mut(r).copy_from_slice(computed.row(block_row));
+            }
+            for (&bits, &block_row) in &pending {
+                if self.table.len() < self.limit {
+                    self.table.insert(bits, computed.row(block_row).into());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_rows_match_direct_encoding() {
+        let enc = TimeEncoder::random(6, 3);
+        let mut tc = TimeCache::precompute(&enc, 100);
+        let dts = [0.0f32, 1.0, 50.0, 99.0];
+        let cached = tc.encode(&enc, &dts);
+        let direct = enc.encode(&dts);
+        assert!(cached.max_abs_diff(&direct) < 1e-7);
+        assert_eq!(tc.hits(), 4);
+        assert_eq!(tc.misses(), 0);
+    }
+
+    #[test]
+    fn misses_fall_back_to_encoder() {
+        let enc = TimeEncoder::random(4, 1);
+        let mut tc = TimeCache::precompute(&enc, 10);
+        // 10 is outside [0,10); 2.5 is non-integral; -1 is negative.
+        let dts = [10.0f32, 2.5, -1.0, 3.0];
+        let cached = tc.encode(&enc, &dts);
+        let direct = enc.encode(&dts);
+        assert!(cached.max_abs_diff(&direct) < 1e-7);
+        assert_eq!(tc.hits(), 1);
+        assert_eq!(tc.misses(), 3);
+        assert!((tc.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_zeros_matches_encoder() {
+        let enc = TimeEncoder::random(5, 9);
+        let tc = TimeCache::precompute(&enc, 16);
+        let z = tc.encode_zeros(3);
+        let direct = enc.encode_zeros(3);
+        assert!(z.max_abs_diff(&direct) < 1e-7);
+    }
+
+    #[test]
+    fn large_delta_beyond_f32_integer_precision_is_safe() {
+        // Deltas above 2^24 lose integer precision in f32; they must still
+        // round-trip through the fallback without panicking.
+        let enc = TimeEncoder::new(4);
+        let mut tc = TimeCache::precompute(&enc, 8);
+        let dts = [3.0e8f32];
+        let cached = tc.encode(&enc, &dts);
+        let direct = enc.encode(&dts);
+        assert!(cached.max_abs_diff(&direct) < 1e-7);
+        assert_eq!(tc.misses(), 1);
+    }
+
+    #[test]
+    fn hash_cache_memoizes_exact_repeats() {
+        let enc = TimeEncoder::random(4, 2);
+        let mut hc = HashTimeCache::new(100);
+        let dts = [3.5f32, 1e7, 3.5, -2.0, 1e7, 3.5];
+        let out = hc.encode(&enc, &dts);
+        let direct = enc.encode(&dts);
+        assert!(out.max_abs_diff(&direct) < 1e-7);
+        assert_eq!(hc.misses(), 3, "three distinct deltas");
+        assert_eq!(hc.hits(), 3, "three repeats");
+        assert_eq!(hc.len(), 3);
+        assert!(!hc.is_empty());
+        // Second pass is all hits.
+        let out2 = hc.encode(&enc, &dts);
+        assert!(out2.max_abs_diff(&direct) < 1e-7);
+        assert_eq!(hc.misses(), 3);
+    }
+
+    #[test]
+    fn hash_cache_respects_its_limit() {
+        let enc = TimeEncoder::new(2);
+        let mut hc = HashTimeCache::new(2);
+        let dts: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let out = hc.encode(&enc, &dts);
+        assert!(out.max_abs_diff(&enc.encode(&dts)) < 1e-7);
+        assert_eq!(hc.len(), 2, "stops memoizing at the limit");
+        assert!((hc.hit_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_cache_handles_non_integral_deltas_unlike_window() {
+        let enc = TimeEncoder::random(3, 5);
+        let mut window = TimeCache::precompute(&enc, 100);
+        let mut hash = HashTimeCache::new(100);
+        let dts = [0.25f32, 0.25, 0.25];
+        let _ = window.encode(&enc, &dts);
+        let _ = hash.encode(&enc, &dts);
+        assert_eq!(window.hits(), 0, "window cannot serve fractional deltas");
+        assert_eq!(hash.hits(), 2, "hash serves repeats of any value");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let enc = TimeEncoder::new(4);
+        let mut tc = TimeCache::precompute(&enc, 8);
+        let out = tc.encode(&enc, &[]);
+        assert_eq!(out.shape(), (0, 4));
+        assert_eq!(tc.hit_rate(), 0.0);
+    }
+}

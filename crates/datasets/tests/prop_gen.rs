@@ -1,0 +1,89 @@
+//! Property-based tests for the synthetic dataset generators: structural
+//! invariants must hold for every dataset at every scale and seed.
+
+use proptest::prelude::*;
+use tg_datasets::{all_specs, dataset_stats, generate, GraphKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_streams_uphold_all_invariants(
+        spec_idx in 0usize..7,
+        scale_millis in 1u32..20,   // 0.001 .. 0.020
+        seed in 0u64..50,
+    ) {
+        let spec = all_specs()[spec_idx];
+        let scale = scale_millis as f64 / 1000.0;
+        let ds = generate(&spec, scale, seed);
+
+        // Edge count honors the scale; ids stay in range.
+        let expected = ((spec.num_edges as f64 * scale).round() as usize).max(1);
+        prop_assert_eq!(ds.stream.len(), expected);
+        prop_assert!(ds.stream.num_nodes() <= spec.num_nodes());
+
+        // Timestamps: non-decreasing, integral, non-negative.
+        let mut prev = f32::NEG_INFINITY;
+        for e in ds.stream.edges() {
+            prop_assert!(e.time >= prev);
+            prop_assert!(e.time >= 0.0);
+            prop_assert_eq!(e.time.fract(), 0.0);
+            prev = e.time;
+        }
+
+        // Edge ids are the row index of the feature matrix.
+        for (i, e) in ds.stream.edges().iter().enumerate() {
+            prop_assert_eq!(e.eid as usize, i);
+        }
+        prop_assert_eq!(ds.edge_features.rows(), ds.stream.len());
+        prop_assert_eq!(ds.edge_features.cols(), spec.effective_edge_dim());
+        prop_assert!(ds.edge_features.all_finite());
+
+        // Node features: zero matrix over the full id space.
+        prop_assert_eq!(ds.node_features.rows(), spec.num_nodes());
+        prop_assert!(ds.node_features.as_slice().iter().all(|&v| v == 0.0));
+
+        // Bipartite structure holds for jodie graphs.
+        if let GraphKind::Bipartite { users, .. } = spec.kind {
+            for e in ds.stream.edges() {
+                prop_assert!((e.src as usize) < users);
+                prop_assert!((e.dst as usize) >= users);
+            }
+        } else {
+            prop_assert!(ds.stream.edges().iter().all(|e| e.src != e.dst));
+        }
+
+        // Stats helper is internally consistent.
+        let stats = dataset_stats(&ds);
+        prop_assert_eq!(stats.num_edges, ds.stream.len());
+        prop_assert!(stats.num_nodes <= spec.num_nodes());
+        prop_assert!((stats.mean_degree - 2.0 * stats.num_edges as f64 / stats.num_nodes as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_data_different_seed_different_data(
+        spec_idx in 0usize..7,
+        seed in 0u64..25,
+    ) {
+        let spec = all_specs()[spec_idx];
+        let a = generate(&spec, 0.002, seed);
+        let b = generate(&spec, 0.002, seed);
+        prop_assert_eq!(a.stream.edges(), b.stream.edges());
+        prop_assert_eq!(a.edge_features.as_slice(), b.edge_features.as_slice());
+        let c = generate(&spec, 0.002, seed + 1000);
+        prop_assert_ne!(a.stream.edges(), c.stream.edges());
+    }
+
+    #[test]
+    fn scaling_preserves_event_rate(spec_idx in 0usize..7, seed in 0u64..10) {
+        // The generator keeps the original inter-event rate, so max(t)
+        // should scale roughly linearly with |E| (burstiness adds noise).
+        let spec = all_specs()[spec_idx];
+        let small = generate(&spec, 0.002, seed);
+        let large = generate(&spec, 0.02, seed);
+        let rate_small = small.stream.max_time() as f64 / small.stream.len() as f64;
+        let rate_large = large.stream.max_time() as f64 / large.stream.len() as f64;
+        let ratio = rate_small / rate_large;
+        prop_assert!((0.2..5.0).contains(&ratio), "event rate drifted: {ratio}");
+    }
+}

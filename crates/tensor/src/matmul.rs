@@ -1,0 +1,260 @@
+//! Blocked, rayon-parallel matrix multiplication kernels.
+//!
+//! Three layouts cover the forward pass and both backward products of a
+//! linear layer without materializing any transposes:
+//!
+//! * [`matmul`]    — `C = A * B`
+//! * [`matmul_nt`] — `C = A * B^T` (B stored `[n, k]`)
+//! * [`matmul_tn`] — `C = A^T * B` (A stored `[m, k]`, producing `[k, n]`)
+
+use crate::{Tensor, PAR_THRESHOLD};
+use rayon::prelude::*;
+
+/// How many rows of the output each parallel task computes.
+const ROW_BLOCK: usize = 32;
+
+/// `C[m,n] = A[m,k] * B[k,n]`.
+///
+/// Uses the cache-friendly `i-k-j` loop order so the inner loop streams a row
+/// of `B` and a row of `C`, which LLVM auto-vectorizes. Row blocks are
+/// distributed over the rayon pool when the output is large enough.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+    let mut c = Tensor::zeros(m, n);
+    let work = m * n * k;
+    let bs = b.as_slice();
+    if work < PAR_THRESHOLD || m == 1 {
+        for i in 0..m {
+            mm_row(a.row(i), bs, c.row_mut(i), k, n);
+        }
+    } else {
+        c.as_mut_slice()
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, c_chunk)| {
+                let base = blk * ROW_BLOCK;
+                for (r, c_row) in c_chunk.chunks_mut(n).enumerate() {
+                    mm_row(a.row(base + r), bs, c_row, k, n);
+                }
+            });
+    }
+    c
+}
+
+/// Computes one output row: `c_row += a_row * B`.
+#[inline]
+fn mm_row(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
+    for (kk, &av) in a_row.iter().enumerate().take(k) {
+        if av == 0.0 {
+            continue; // zero node features are common in TGAT layer 0
+        }
+        let b_row = &b[kk * n..kk * n + n];
+        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+            *cv += av * bv;
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] * B^T` where `B` is stored as `[n, k]`.
+///
+/// Each output element is a dot product of two contiguous rows, which is the
+/// natural layout for attention scores (`Q * K^T`).
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_nt: inner dimensions differ ({k} vs {k2})");
+    let mut c = Tensor::zeros(m, n);
+    let work = m * n * k;
+    if work < PAR_THRESHOLD || m == 1 {
+        for i in 0..m {
+            let ar = a.row(i);
+            let crow = c.row_mut(i);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = dot(ar, b.row(j));
+            }
+        }
+    } else {
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            let ar = a.row(i);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = dot(ar, b.row(j));
+            }
+        });
+    }
+    c
+}
+
+/// `C[k,n] = A^T * B` where `A` is stored as `[m, k]` and `B` as `[m, n]`.
+///
+/// This is the weight-gradient product of a linear layer
+/// (`dW = X^T * dY`). Parallelized over rows of the output (columns of `A`).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (m2, n) = b.shape();
+    assert_eq!(m, m2, "matmul_tn: outer dimensions differ ({m} vs {m2})");
+    let mut c = Tensor::zeros(k, n);
+    let asl = a.as_slice();
+    let work = m * n * k;
+    let body = |i: usize, crow: &mut [f32]| {
+        for r in 0..m {
+            let av = asl[r * k + i];
+            if av == 0.0 {
+                continue;
+            }
+            for (cv, &bv) in crow.iter_mut().zip(b.row(r)) {
+                *cv += av * bv;
+            }
+        }
+    };
+    if work < PAR_THRESHOLD || k == 1 {
+        for i in 0..k {
+            body(i, c.row_mut(i));
+        }
+    } else {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
+    }
+    c
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four accumulators break the dependency chain so LLVM can vectorize.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Straightforward triple-loop reference used to validate the kernels.
+    fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.get(i, kk) * b.get(kk, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn seq_tensor(rows: usize, cols: usize, scale: f32) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| ((i as f32 * 0.73).sin()) * scale)
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    fn transpose(t: &Tensor) -> Tensor {
+        let (r, c) = t.shape();
+        let mut out = Tensor::zeros(c, r);
+        for i in 0..r {
+            for j in 0..c {
+                out.set(j, i, t.get(i, j));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_reference_small() {
+        let a = seq_tensor(3, 4, 1.0);
+        let b = seq_tensor(4, 5, 2.0);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&reference_matmul(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_matches_reference_large_parallel() {
+        let a = seq_tensor(130, 64, 1.0);
+        let b = seq_tensor(64, 48, 1.0);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&reference_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = seq_tensor(7, 9, 1.0);
+        let bt = seq_tensor(5, 9, 1.0); // represents B^T stored as [n,k]
+        let c = matmul_nt(&a, &bt);
+        let c_ref = matmul(&a, &transpose(&bt));
+        assert!(c.max_abs_diff(&c_ref) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_parallel_path() {
+        let a = seq_tensor(90, 70, 1.0);
+        let bt = seq_tensor(40, 70, 1.0);
+        let c = matmul_nt(&a, &bt);
+        let c_ref = matmul(&a, &transpose(&bt));
+        assert!(c.max_abs_diff(&c_ref) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_equals_matmul_with_transpose() {
+        let at = seq_tensor(6, 8, 1.0); // A stored [m,k]; result is A^T*B = [8,n]
+        let b = seq_tensor(6, 5, 1.0);
+        let c = matmul_tn(&at, &b);
+        let c_ref = matmul(&transpose(&at), &b);
+        assert!(c.max_abs_diff(&c_ref) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_tn_parallel_path() {
+        let at = seq_tensor(100, 64, 1.0);
+        let b = seq_tensor(100, 32, 1.0);
+        let c = matmul_tn(&at, &b);
+        let c_ref = matmul(&transpose(&at), &b);
+        assert!(c.max_abs_diff(&c_ref) < 1e-4);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = seq_tensor(4, 4, 1.0);
+        let mut eye = Tensor::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn mismatched_shapes_panic() {
+        let _ = matmul(&Tensor::zeros(2, 3), &Tensor::zeros(4, 2));
+    }
+
+    #[test]
+    fn empty_edges() {
+        let c = matmul(&Tensor::zeros(0, 3), &Tensor::zeros(3, 2));
+        assert_eq!(c.shape(), (0, 2));
+    }
+}

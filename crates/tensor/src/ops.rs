@@ -1,0 +1,385 @@
+//! Elementwise kernels, reductions, masked softmax, concatenation and
+//! row gathering — the non-matmul operations TGAT needs.
+
+use crate::{Tensor, PAR_THRESHOLD};
+use rayon::prelude::*;
+
+/// Applies `f` to every element, in place, parallelizing large tensors.
+pub fn map_inplace(t: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) {
+    let data = t.as_mut_slice();
+    if data.len() < PAR_THRESHOLD {
+        for v in data.iter_mut() {
+            *v = f(*v);
+        }
+    } else {
+        data.par_iter_mut().for_each(|v| *v = f(*v));
+    }
+}
+
+/// Returns `relu(t)`.
+pub fn relu(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    map_inplace(&mut out, |v| v.max(0.0));
+    out
+}
+
+/// Returns `sigmoid(t)`.
+pub fn sigmoid(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    map_inplace(&mut out, |v| 1.0 / (1.0 + (-v).exp()));
+    out
+}
+
+/// Elementwise sum of two same-shape tensors.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+    let mut out = a.clone();
+    for (o, &bv) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o += bv;
+    }
+    out
+}
+
+/// Elementwise difference `a - b`.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
+    let mut out = a.clone();
+    for (o, &bv) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o -= bv;
+    }
+    out
+}
+
+/// Elementwise product of two same-shape tensors.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "mul: shape mismatch");
+    let mut out = a.clone();
+    for (o, &bv) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o *= bv;
+    }
+    out
+}
+
+/// Scalar multiplication.
+pub fn scale(t: &Tensor, s: f32) -> Tensor {
+    let mut out = t.clone();
+    map_inplace(&mut out, |v| v * s);
+    out
+}
+
+/// Adds a `1 x cols` bias row to every row of `t`.
+pub fn add_bias(t: &Tensor, bias: &Tensor) -> Tensor {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), t.cols(), "bias width must match tensor width");
+    let mut out = t.clone();
+    let b = bias.as_slice();
+    let cols = out.cols();
+    for row in out.as_mut_slice().chunks_mut(cols.max(1)) {
+        for (o, &bv) in row.iter_mut().zip(b) {
+            *o += bv;
+        }
+    }
+    out
+}
+
+/// Concatenates tensors side by side (same row count).
+pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_cols needs at least one part");
+    let rows = parts[0].rows();
+    for p in parts {
+        assert_eq!(p.rows(), rows, "concat_cols: row count mismatch");
+    }
+    let total: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut out = Tensor::zeros(rows, total);
+    for r in 0..rows {
+        let orow = out.row_mut(r);
+        let mut off = 0;
+        for p in parts {
+            let w = p.cols();
+            orow[off..off + w].copy_from_slice(p.row(r));
+            off += w;
+        }
+    }
+    out
+}
+
+/// Stacks tensors on top of each other (same column count).
+pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_rows needs at least one part");
+    let cols = parts[0].cols();
+    let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+    let mut rows = 0;
+    for p in parts {
+        assert_eq!(p.cols(), cols, "concat_rows: column count mismatch");
+        data.extend_from_slice(p.as_slice());
+        rows += p.rows();
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Gathers rows of `src` by index: `out.row(i) = src.row(idx[i])`.
+pub fn gather_rows(src: &Tensor, idx: &[usize]) -> Tensor {
+    let cols = src.cols();
+    let mut out = Tensor::zeros(idx.len(), cols);
+    if idx.len() * cols < PAR_THRESHOLD {
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(src.row(r));
+        }
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(cols)
+            .zip(idx.par_iter())
+            .for_each(|(orow, &r)| orow.copy_from_slice(src.row(r)));
+    }
+    out
+}
+
+/// Splits the first `n` rows off a tensor, returning `(head, tail)`.
+pub fn split_rows(t: &Tensor, n: usize) -> (Tensor, Tensor) {
+    assert!(n <= t.rows(), "split point beyond row count");
+    let cols = t.cols();
+    let head = Tensor::from_vec(n, cols, t.as_slice()[..n * cols].to_vec());
+    let tail = Tensor::from_vec(t.rows() - n, cols, t.as_slice()[n * cols..].to_vec());
+    (head, tail)
+}
+
+/// Masked row softmax used by the attention operator.
+///
+/// `mask[r * cols + c] == false` marks a padding slot whose weight must be
+/// exactly zero. Rows whose slots are all masked produce all-zero weights
+/// (a node with no temporal neighbors aggregates nothing).
+pub fn softmax_rows_masked(t: &Tensor, mask: &[bool]) -> Tensor {
+    assert_eq!(mask.len(), t.len(), "mask length must match tensor size");
+    let cols = t.cols();
+    let mut out = t.clone();
+    let body = |(row, mrow): (&mut [f32], &[bool])| {
+        let mut max = f32::NEG_INFINITY;
+        for (v, &m) in row.iter().zip(mrow) {
+            if m && *v > max {
+                max = *v;
+            }
+        }
+        if max == f32::NEG_INFINITY {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        let mut sum = 0.0;
+        for (v, &m) in row.iter_mut().zip(mrow) {
+            if m {
+                *v = (*v - max).exp();
+                sum += *v;
+            } else {
+                *v = 0.0;
+            }
+        }
+        let inv = 1.0 / sum;
+        row.iter_mut().for_each(|v| *v *= inv);
+    };
+    if t.len() < PAR_THRESHOLD {
+        out.as_mut_slice()
+            .chunks_mut(cols)
+            .zip(mask.chunks(cols))
+            .for_each(body);
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(cols)
+            .zip(mask.par_chunks(cols))
+            .for_each(body);
+    }
+    out
+}
+
+/// Batched attention scores: `q` is `[N, d]`, `key` is `[N*K, d]`, result is
+/// `[N, K]` with `s[n,k] = <q_n, key_{n*K+k}> * scale`.
+///
+/// This is the hot kernel of the temporal attention operator `M`; each
+/// target's score row is independent, so rows are computed in parallel.
+pub fn attn_scores(q: &Tensor, key: &Tensor, scale: f32) -> Tensor {
+    let (n, d) = q.shape();
+    if n == 0 {
+        return Tensor::zeros(0, 0);
+    }
+    assert_eq!(key.rows() % n, 0, "key rows must be a multiple of q rows");
+    assert_eq!(key.cols(), d, "attn_scores dim mismatch");
+    let k = key.rows() / n;
+    let mut out = Tensor::zeros(n, k);
+    let body = |i: usize, orow: &mut [f32]| {
+        let qr = q.row(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let kr = key.row(i * k + j);
+            *o = qr.iter().zip(kr).map(|(a, b)| a * b).sum::<f32>() * scale;
+        }
+    };
+    if n * k * d < PAR_THRESHOLD {
+        for i in 0..n {
+            body(i, out.row_mut(i));
+        }
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(k)
+            .enumerate()
+            .for_each(|(i, orow)| body(i, orow));
+    }
+    out
+}
+
+/// Batched weighted neighbor sum: `w` is `[N, K]`, `v` is `[N*K, d]`, result
+/// is `[N, d]` with `out_n = sum_k w[n,k] * v_{n*K+k}`.
+pub fn attn_weighted_sum(w: &Tensor, v: &Tensor) -> Tensor {
+    let (n, k) = w.shape();
+    assert_eq!(v.rows(), n * k, "value rows must equal N*K");
+    let d = v.cols();
+    let mut out = Tensor::zeros(n, d);
+    let body = |i: usize, orow: &mut [f32]| {
+        for j in 0..k {
+            let weight = w.get(i, j);
+            if weight == 0.0 {
+                continue; // masked padding slots
+            }
+            for (o, &x) in orow.iter_mut().zip(v.row(i * k + j)) {
+                *o += weight * x;
+            }
+        }
+    };
+    if n * k * d < PAR_THRESHOLD {
+        for i in 0..n {
+            body(i, out.row_mut(i));
+        }
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(i, orow)| body(i, orow));
+    }
+    out
+}
+
+/// Sum of all elements.
+pub fn sum_all(t: &Tensor) -> f32 {
+    t.as_slice().iter().sum()
+}
+
+/// Mean of all elements (0 for an empty tensor).
+pub fn mean_all(t: &Tensor) -> f32 {
+    if t.is_empty() {
+        0.0
+    } else {
+        sum_all(t) / t.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_bounds() {
+        let t = Tensor::from_vec(1, 3, vec![0.0, 100.0, -100.0]);
+        let s = sigmoid(&t);
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((s.get(0, 1) - 1.0).abs() < 1e-6);
+        assert!(s.get(0, 2) < 1e-6);
+    }
+
+    #[test]
+    fn add_sub_mul_scale() {
+        let a = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(mul(&a, &b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(scale(&a, 2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_bias_broadcasts() {
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::row_vector(&[10.0, 20.0]);
+        assert_eq!(add_bias(&t, &b).as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = Tensor::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_rows_layout() {
+        let a = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_and_split() {
+        let src = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = gather_rows(&src, &[2, 0, 2]);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+        assert_eq!(g.row(2), &[5.0, 6.0]);
+        let (h, t) = split_rows(&src, 1);
+        assert_eq!(h.shape(), (1, 2));
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let mask = vec![true; 6];
+        let s = softmax_rows_masked(&t, &mask);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Softmax is monotone in its inputs.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_masks_padding() {
+        let t = Tensor::from_vec(1, 3, vec![5.0, 1.0, 100.0]);
+        let mask = vec![true, true, false];
+        let s = softmax_rows_masked(&t, &mask);
+        assert_eq!(s.get(0, 2), 0.0);
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_all_masked_row_is_zero() {
+        let t = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        let s = softmax_rows_masked(&t, &[false, false]);
+        assert_eq!(s.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let shifted = Tensor::from_vec(1, 3, vec![1001.0, 1002.0, 1003.0]);
+        let mask = vec![true; 3];
+        let a = softmax_rows_masked(&t, &mask);
+        let b = softmax_rows_masked(&shifted, &mask);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum_all(&t), 10.0);
+        assert_eq!(mean_all(&t), 2.5);
+        assert_eq!(mean_all(&Tensor::zeros(0, 3)), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the tensor kernels: every optimized kernel must
+//! agree with a straightforward reference on arbitrary inputs, and the
+//! algebraic invariants of softmax/concat/gather must hold.
+
+use proptest::prelude::*;
+use tg_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use tg_tensor::{ops, Tensor};
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data))
+    })
+}
+
+fn pair_strategy(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
+            .prop_map(move |d| Tensor::from_vec(m, k, d));
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
+            .prop_map(move |d| Tensor::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for kk in 0..k {
+                s += a.get(i, kk) * b.get(kk, j);
+            }
+            c.set(i, j, s);
+        }
+    }
+    c
+}
+
+fn transpose(t: &Tensor) -> Tensor {
+    let (r, c) = t.shape();
+    let mut out = Tensor::zeros(c, r);
+    for i in 0..r {
+        for j in 0..c {
+            out.set(j, i, t.get(i, j));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_matches_reference((a, b) in pair_strategy(12)) {
+        let c = matmul(&a, &b);
+        prop_assert!(c.max_abs_diff(&reference_matmul(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_variants_are_consistent((a, b) in pair_strategy(10)) {
+        // A*B computed three ways: direct, via nt on B^T, via tn on A^T.
+        let direct = matmul(&a, &b);
+        let via_nt = matmul_nt(&a, &transpose(&b));
+        let via_tn = matmul_tn(&transpose(&a), &b);
+        prop_assert!(direct.max_abs_diff(&via_nt) < 1e-3);
+        prop_assert!(direct.max_abs_diff(&via_tn) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_strategy(10)) {
+        let mask = vec![true; t.len()];
+        let s = ops::softmax_rows_masked(&t, &mask);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_respects_arbitrary_masks(
+        t in tensor_strategy(8),
+        seed in 0u64..1000,
+    ) {
+        let mut mask = vec![false; t.len()];
+        let mut x = seed;
+        for m in mask.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *m = (x >> 33) & 1 == 1;
+        }
+        let s = ops::softmax_rows_masked(&t, &mask);
+        for (i, (&v, &m)) in s.as_slice().iter().zip(&mask).enumerate() {
+            if !m {
+                prop_assert_eq!(v, 0.0, "masked slot {} must be zero", i);
+            }
+        }
+        prop_assert!(s.all_finite());
+    }
+
+    #[test]
+    fn concat_then_split_roundtrips(a in tensor_strategy(8), cols in 1usize..8) {
+        let b = Tensor::full(a.rows(), cols, 3.5);
+        let c = ops::concat_cols(&[&a, &b]);
+        prop_assert_eq!(c.cols(), a.cols() + cols);
+        for r in 0..a.rows() {
+            prop_assert_eq!(&c.row(r)[..a.cols()], a.row(r));
+        }
+        let stacked = ops::concat_rows(&[&a, &a]);
+        let (top, bottom) = ops::split_rows(&stacked, a.rows());
+        prop_assert_eq!(top.as_slice(), a.as_slice());
+        prop_assert_eq!(bottom.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn gather_rows_copies_exactly(t in tensor_strategy(10), seed in 0usize..97) {
+        let n = t.rows();
+        let idx: Vec<usize> = (0..2 * n).map(|i| (i * 7 + seed) % n).collect();
+        let g = ops::gather_rows(&t, &idx);
+        for (out_row, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(out_row), t.row(src));
+        }
+    }
+
+    #[test]
+    fn attn_kernels_match_naive(
+        q_data in proptest::collection::vec(-3.0f32..3.0, 3 * 4),
+        k_data in proptest::collection::vec(-3.0f32..3.0, 6 * 4),
+        w_data in proptest::collection::vec(0.0f32..1.0, 3 * 2),
+    ) {
+        let q = Tensor::from_vec(3, 4, q_data);
+        let key = Tensor::from_vec(6, 4, k_data);
+        let s = ops::attn_scores(&q, &key, 0.5);
+        prop_assert_eq!(s.shape(), (3, 2));
+        for i in 0..3 {
+            for j in 0..2 {
+                let expect: f32 = q.row(i).iter().zip(key.row(i * 2 + j)).map(|(a, b)| a * b).sum::<f32>() * 0.5;
+                prop_assert!((s.get(i, j) - expect).abs() < 1e-4);
+            }
+        }
+        let w = Tensor::from_vec(3, 2, w_data);
+        let v = key.clone();
+        let o = ops::attn_weighted_sum(&w, &v);
+        for i in 0..3 {
+            for d in 0..4 {
+                let expect: f32 = (0..2).map(|j| w.get(i, j) * v.get(i * 2 + j, d)).sum();
+                prop_assert!((o.get(i, d) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_and_sigmoid_are_monotone_and_bounded(t in tensor_strategy(10)) {
+        let r = ops::relu(&t);
+        prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+        for (&orig, &relu) in t.as_slice().iter().zip(r.as_slice()) {
+            prop_assert_eq!(relu, orig.max(0.0));
+        }
+        let s = ops::sigmoid(&t);
+        prop_assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

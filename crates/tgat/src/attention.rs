@@ -1,0 +1,169 @@
+//! The temporal multi-head attention operator `M` (Eqs. 4–7).
+//!
+//! This is the raw (tape-free) forward used by both inference engines; the
+//! training path in [`crate::train`] records the identical computation on an
+//! autograd tape.
+
+use crate::config::TgatConfig;
+use crate::params::LayerParams;
+use tg_tensor::matmul::matmul;
+use tg_tensor::{ops, Tensor};
+
+/// Inputs to one attention layer for a batch of `N` targets, each with `K`
+/// sampled neighbors (rows `i*K..(i+1)*K` of the `N*K` tensors).
+pub struct AttentionInputs<'a> {
+    /// `[N, dim]` previous-layer embeddings of the targets.
+    pub h_src: &'a Tensor,
+    /// `[N, time_dim]` target-side time encoding `Phi(0)` (Eq. 4).
+    pub ht0: &'a Tensor,
+    /// `[N*K, dim]` previous-layer embeddings of the sampled neighbors.
+    pub h_ngh: &'a Tensor,
+    /// `[N*K, edge_dim]` features of the interaction edges.
+    pub e_feat: &'a Tensor,
+    /// `[N*K, time_dim]` neighbor-side time encodings `Phi(t - t_j)` (Eq. 5).
+    pub ht: &'a Tensor,
+    /// `N*K` validity mask; `false` marks padding slots.
+    pub mask: &'a [bool],
+}
+
+/// Computes `h_i^{(l)}(t)` for every target (Eqs. 4–7). Returns `[N, dim]`.
+///
+/// # Panics
+/// Panics (in debug builds) on inconsistent input shapes.
+pub fn forward(layer: &LayerParams, cfg: &TgatConfig, inp: &AttentionInputs<'_>) -> Tensor {
+    let n = inp.h_src.rows();
+    debug_assert_eq!(inp.ht0.rows(), n);
+    debug_assert_eq!(inp.h_ngh.rows() % n.max(1), 0);
+    debug_assert_eq!(inp.h_ngh.rows(), inp.e_feat.rows());
+    debug_assert_eq!(inp.h_ngh.rows(), inp.ht.rows());
+    debug_assert_eq!(inp.h_ngh.rows(), inp.mask.len());
+
+    // Message creation: z_i = h_i || Phi(0); z_j = h_j || e_ij || Phi(dt).
+    let z_src = ops::concat_cols(&[inp.h_src, inp.ht0]);
+    let z_ngh = ops::concat_cols(&[inp.h_ngh, inp.e_feat, inp.ht]);
+
+    let scale = 1.0 / (cfg.head_dim() as f32).sqrt();
+    let mut head_outs = Vec::with_capacity(layer.heads.len());
+    for head in &layer.heads {
+        let q = matmul(&z_src, &head.wq);
+        let k = matmul(&z_ngh, &head.wk);
+        let v = matmul(&z_ngh, &head.wv);
+        let scores = ops::attn_scores(&q, &k, scale);
+        let weights = ops::softmax_rows_masked(&scores, inp.mask);
+        head_outs.push(ops::attn_weighted_sum(&weights, &v));
+    }
+    let refs: Vec<&Tensor> = head_outs.iter().collect();
+    let r = ops::concat_cols(&refs); // [N, dim]
+
+    // Feature update: h = FFN(r || h_src)  (Eq. 7).
+    let ffn_in = ops::concat_cols(&[&r, inp.h_src]);
+    let hidden = ops::relu(&ops::add_bias(&matmul(&ffn_in, &layer.fc1_w), &layer.fc1_b));
+    ops::add_bias(&matmul(&hidden, &layer.fc2_w), &layer.fc2_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TgatParams;
+    use tg_tensor::init;
+
+    fn setup(n: usize) -> (TgatConfig, TgatParams, Tensor, Tensor, Tensor, Tensor, Tensor) {
+        let cfg = TgatConfig::tiny();
+        let p = TgatParams::init(cfg, 3);
+        let k = cfg.n_neighbors;
+        let mut rng = init::seeded_rng(9);
+        let h_src = init::normal(&mut rng, n, cfg.dim, 1.0);
+        let ht0 = init::normal(&mut rng, n, cfg.time_dim, 1.0);
+        let h_ngh = init::normal(&mut rng, n * k, cfg.dim, 1.0);
+        let e_feat = init::normal(&mut rng, n * k, cfg.edge_dim, 1.0);
+        let ht = init::normal(&mut rng, n * k, cfg.time_dim, 1.0);
+        (cfg, p, h_src, ht0, h_ngh, e_feat, ht)
+    }
+
+    #[test]
+    fn output_shape_is_n_by_dim() {
+        let (cfg, p, h_src, ht0, h_ngh, e_feat, ht) = setup(5);
+        let mask = vec![true; 5 * cfg.n_neighbors];
+        let out = forward(
+            &p.layers[0],
+            &cfg,
+            &AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh, e_feat: &e_feat, ht: &ht, mask: &mask },
+        );
+        assert_eq!(out.shape(), (5, cfg.dim));
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn masked_neighbors_do_not_affect_output() {
+        let (cfg, p, h_src, ht0, h_ngh, e_feat, ht) = setup(2);
+        let k = cfg.n_neighbors;
+        let mut mask = vec![true; 2 * k];
+        mask[1] = false; // target 0, slot 1 is padding
+        let out1 = forward(
+            &p.layers[0],
+            &cfg,
+            &AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh, e_feat: &e_feat, ht: &ht, mask: &mask },
+        );
+        // Corrupt the padding slot's inputs; output must not change.
+        let mut h_ngh2 = h_ngh.clone();
+        for v in h_ngh2.row_mut(1) {
+            *v = 1e3;
+        }
+        let mut e2 = e_feat.clone();
+        for v in e2.row_mut(1) {
+            *v = -1e3;
+        }
+        let out2 = forward(
+            &p.layers[0],
+            &cfg,
+            &AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh2, e_feat: &e2, ht: &ht, mask: &mask },
+        );
+        assert!(out1.max_abs_diff(&out2) < 1e-5);
+    }
+
+    #[test]
+    fn fully_masked_target_still_produces_finite_output() {
+        let (cfg, p, h_src, ht0, h_ngh, e_feat, ht) = setup(1);
+        let mask = vec![false; cfg.n_neighbors];
+        let out = forward(
+            &p.layers[0],
+            &cfg,
+            &AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh, e_feat: &e_feat, ht: &ht, mask: &mask },
+        );
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn batch_rows_are_independent() {
+        // Computing targets together or separately must give identical rows.
+        let (cfg, p, h_src, ht0, h_ngh, e_feat, ht) = setup(4);
+        let k = cfg.n_neighbors;
+        let mask = vec![true; 4 * k];
+        let full = forward(
+            &p.layers[0],
+            &cfg,
+            &AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh, e_feat: &e_feat, ht: &ht, mask: &mask },
+        );
+        for i in 0..4 {
+            let hs = Tensor::from_vec(1, cfg.dim, h_src.row(i).to_vec());
+            let h0 = Tensor::from_vec(1, cfg.time_dim, ht0.row(i).to_vec());
+            let slice = |t: &Tensor, w: usize| {
+                Tensor::from_vec(k, w, t.as_slice()[i * k * w..(i + 1) * k * w].to_vec())
+            };
+            let single = forward(
+                &p.layers[0],
+                &cfg,
+                &AttentionInputs {
+                    h_src: &hs,
+                    ht0: &h0,
+                    h_ngh: &slice(&h_ngh, cfg.dim),
+                    e_feat: &slice(&e_feat, cfg.edge_dim),
+                    ht: &slice(&ht, cfg.time_dim),
+                    mask: &mask[i * k..(i + 1) * k],
+                },
+            );
+            let batch_row = Tensor::from_vec(1, cfg.dim, full.row(i).to_vec());
+            assert!(single.max_abs_diff(&batch_row) < 1e-5, "row {i} differs");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Model hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// TGAT architecture settings.
+///
+/// The paper evaluates a 2-layer, 2-head model sampling 20 most-recent
+/// neighbors with 100-dimensional features ([`TgatConfig::paper_default`]).
+/// Tests use [`TgatConfig::tiny`] to keep runtimes negligible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TgatConfig {
+    /// Embedding / node-feature dimension (`d_h`).
+    pub dim: usize,
+    /// Edge feature dimension (`d_e`).
+    pub edge_dim: usize,
+    /// Time-encoding dimension (`d_t`).
+    pub time_dim: usize,
+    /// Number of stacked attention layers (`L`).
+    pub n_layers: usize,
+    /// Attention heads per layer; must divide `dim`.
+    pub n_heads: usize,
+    /// Neighbors sampled per target (`N` in Algorithm 1).
+    pub n_neighbors: usize,
+}
+
+impl TgatConfig {
+    /// The paper's evaluation configuration (§5.1.1) for a dataset with the
+    /// given edge feature dimension.
+    pub fn paper_default(edge_dim: usize) -> Self {
+        Self { dim: 100, edge_dim, time_dim: 100, n_layers: 2, n_heads: 2, n_neighbors: 20 }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { dim: 8, edge_dim: 6, time_dim: 4, n_layers: 2, n_heads: 2, n_neighbors: 3 }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.n_heads
+    }
+
+    /// Query input width: `dim + time_dim` (Eq. 4: `h_i || Phi(0)`).
+    pub fn query_in_dim(&self) -> usize {
+        self.dim + self.time_dim
+    }
+
+    /// Key/value input width: `dim + edge_dim + time_dim`
+    /// (Eq. 5: `h_j || e_ij || Phi(t - t_j)`).
+    pub fn key_in_dim(&self) -> usize {
+        self.dim + self.edge_dim + self.time_dim
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 || self.time_dim == 0 {
+            return Err("dim and time_dim must be positive".into());
+        }
+        if self.n_layers == 0 {
+            return Err("need at least one layer".into());
+        }
+        if self.n_heads == 0 || !self.dim.is_multiple_of(self.n_heads) {
+            return Err(format!("heads ({}) must divide dim ({})", self.n_heads, self.dim));
+        }
+        if self.n_neighbors == 0 {
+            return Err("need at least one sampled neighbor".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5() {
+        let c = TgatConfig::paper_default(172);
+        assert_eq!(c.n_layers, 2);
+        assert_eq!(c.n_heads, 2);
+        assert_eq!(c.n_neighbors, 20);
+        assert_eq!(c.dim, 100);
+        assert_eq!(c.edge_dim, 172);
+        assert_eq!(c.head_dim(), 50);
+        assert_eq!(c.query_in_dim(), 200);
+        assert_eq!(c.key_in_dim(), 372);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = TgatConfig::tiny();
+        c.n_heads = 3; // does not divide dim=8
+        assert!(c.validate().is_err());
+        let mut c = TgatConfig::tiny();
+        c.n_layers = 0;
+        assert!(c.validate().is_err());
+        let mut c = TgatConfig::tiny();
+        c.n_neighbors = 0;
+        assert!(c.validate().is_err());
+        let mut c = TgatConfig::tiny();
+        c.dim = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = TgatConfig::tiny();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TgatConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

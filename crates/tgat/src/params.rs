@@ -1,0 +1,222 @@
+//! All learnable TGAT weights, with JSON checkpointing.
+
+use crate::config::TgatConfig;
+use crate::time_encode::TimeEncoder;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use tg_tensor::{init, Tensor};
+
+/// Projection weights of one attention head.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HeadParams {
+    /// `[dim + time_dim, head_dim]` query projection.
+    pub wq: Tensor,
+    /// `[dim + edge_dim + time_dim, head_dim]` key projection.
+    pub wk: Tensor,
+    /// `[dim + edge_dim + time_dim, head_dim]` value projection.
+    pub wv: Tensor,
+}
+
+/// One TGAT layer: multi-head attention plus the feed-forward update of
+/// Eq. (7), `h = FFN(r_i || h_i^{(l-1)})`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayerParams {
+    pub heads: Vec<HeadParams>,
+    /// `[2*dim, dim]` first FFN weight.
+    pub fc1_w: Tensor,
+    /// `[1, dim]` first FFN bias.
+    pub fc1_b: Tensor,
+    /// `[dim, dim]` second FFN weight.
+    pub fc2_w: Tensor,
+    /// `[1, dim]` second FFN bias.
+    pub fc2_b: Tensor,
+}
+
+/// Link-prediction decoder: a 2-layer MLP over the concatenated source and
+/// destination embeddings, producing one logit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictorParams {
+    /// `[2*dim, dim]`.
+    pub fc1_w: Tensor,
+    /// `[1, dim]`.
+    pub fc1_b: Tensor,
+    /// `[dim, 1]`.
+    pub fc2_w: Tensor,
+    /// `[1, 1]`.
+    pub fc2_b: Tensor,
+}
+
+/// The complete parameter set of a TGAT model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TgatParams {
+    pub cfg: TgatConfig,
+    /// `layers[0]` is the first (closest-to-features) layer.
+    pub layers: Vec<LayerParams>,
+    pub time: TimeEncoder,
+    pub predictor: PredictorParams,
+}
+
+impl TgatParams {
+    /// Xavier-initialized parameters, deterministic in `seed`.
+    pub fn init(cfg: TgatConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid TGAT configuration");
+        let mut rng = init::seeded_rng(seed);
+        let dh = cfg.head_dim();
+        let layers = (0..cfg.n_layers)
+            .map(|_| LayerParams {
+                heads: (0..cfg.n_heads)
+                    .map(|_| HeadParams {
+                        wq: init::xavier_uniform(&mut rng, cfg.query_in_dim(), dh),
+                        wk: init::xavier_uniform(&mut rng, cfg.key_in_dim(), dh),
+                        wv: init::xavier_uniform(&mut rng, cfg.key_in_dim(), dh),
+                    })
+                    .collect(),
+                fc1_w: init::xavier_uniform(&mut rng, 2 * cfg.dim, cfg.dim),
+                fc1_b: Tensor::zeros(1, cfg.dim),
+                fc2_w: init::xavier_uniform(&mut rng, cfg.dim, cfg.dim),
+                fc2_b: Tensor::zeros(1, cfg.dim),
+            })
+            .collect();
+        Self {
+            cfg,
+            layers,
+            time: TimeEncoder::new(cfg.time_dim),
+            predictor: PredictorParams {
+                fc1_w: init::xavier_uniform(&mut rng, 2 * cfg.dim, cfg.dim),
+                fc1_b: Tensor::zeros(1, cfg.dim),
+                fc2_w: init::xavier_uniform(&mut rng, cfg.dim, 1),
+                fc2_b: Tensor::zeros(1, 1),
+            },
+        }
+    }
+
+    /// Every learnable tensor in a stable order (used by the optimizer and
+    /// by the training tape to pair gradients with parameters).
+    pub fn param_list(&self) -> Vec<&Tensor> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            for head in &layer.heads {
+                out.push(&head.wq);
+                out.push(&head.wk);
+                out.push(&head.wv);
+            }
+            out.push(&layer.fc1_w);
+            out.push(&layer.fc1_b);
+            out.push(&layer.fc2_w);
+            out.push(&layer.fc2_b);
+        }
+        out.push(&self.time.omega);
+        out.push(&self.time.phi);
+        out.push(&self.predictor.fc1_w);
+        out.push(&self.predictor.fc1_b);
+        out.push(&self.predictor.fc2_w);
+        out.push(&self.predictor.fc2_b);
+        out
+    }
+
+    /// Mutable counterpart of [`TgatParams::param_list`], same order.
+    pub fn param_list_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out: Vec<&mut Tensor> = Vec::new();
+        for layer in &mut self.layers {
+            for head in &mut layer.heads {
+                out.push(&mut head.wq);
+                out.push(&mut head.wk);
+                out.push(&mut head.wv);
+            }
+            out.push(&mut layer.fc1_w);
+            out.push(&mut layer.fc1_b);
+            out.push(&mut layer.fc2_w);
+            out.push(&mut layer.fc2_b);
+        }
+        out.push(&mut self.time.omega);
+        out.push(&mut self.time.phi);
+        out.push(&mut self.predictor.fc1_w);
+        out.push(&mut self.predictor.fc1_b);
+        out.push(&mut self.predictor.fc2_w);
+        out.push(&mut self.predictor.fc2_b);
+        out
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.param_list().iter().map(|t| t.len()).sum()
+    }
+
+    /// Saves the model as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a model saved by [`TgatParams::save`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_shapes_are_consistent() {
+        let cfg = TgatConfig::tiny();
+        let p = TgatParams::init(cfg, 1);
+        assert_eq!(p.layers.len(), cfg.n_layers);
+        for layer in &p.layers {
+            assert_eq!(layer.heads.len(), cfg.n_heads);
+            for h in &layer.heads {
+                assert_eq!(h.wq.shape(), (cfg.query_in_dim(), cfg.head_dim()));
+                assert_eq!(h.wk.shape(), (cfg.key_in_dim(), cfg.head_dim()));
+                assert_eq!(h.wv.shape(), (cfg.key_in_dim(), cfg.head_dim()));
+            }
+            assert_eq!(layer.fc1_w.shape(), (2 * cfg.dim, cfg.dim));
+            assert_eq!(layer.fc2_w.shape(), (cfg.dim, cfg.dim));
+        }
+        assert_eq!(p.time.dim(), cfg.time_dim);
+        assert_eq!(p.predictor.fc2_w.shape(), (cfg.dim, 1));
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let cfg = TgatConfig::tiny();
+        let a = TgatParams::init(cfg, 42);
+        let b = TgatParams::init(cfg, 42);
+        assert_eq!(a.layers[0].heads[0].wq.as_slice(), b.layers[0].heads[0].wq.as_slice());
+        let c = TgatParams::init(cfg, 43);
+        assert_ne!(a.layers[0].heads[0].wq.as_slice(), c.layers[0].heads[0].wq.as_slice());
+    }
+
+    #[test]
+    fn param_list_orders_agree() {
+        let mut p = TgatParams::init(TgatConfig::tiny(), 1);
+        let shapes: Vec<(usize, usize)> = p.param_list().iter().map(|t| t.shape()).collect();
+        let shapes_mut: Vec<(usize, usize)> =
+            p.param_list_mut().iter().map(|t| t.shape()).collect();
+        assert_eq!(shapes, shapes_mut);
+        // 2 layers * (2 heads * 3 + 4) + 2 time + 4 predictor
+        assert_eq!(shapes.len(), 2 * (2 * 3 + 4) + 2 + 4);
+    }
+
+    #[test]
+    fn num_parameters_is_positive_and_stable() {
+        let p = TgatParams::init(TgatConfig::tiny(), 1);
+        assert!(p.num_parameters() > 0);
+        assert_eq!(p.num_parameters(), TgatParams::init(TgatConfig::tiny(), 9).num_parameters());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let p = TgatParams::init(TgatConfig::tiny(), 5);
+        let mut path = std::env::temp_dir();
+        path.push(format!("tgat-params-{}.json", rand::random::<u64>()));
+        p.save(&path).unwrap();
+        let q = TgatParams::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(p.cfg, q.cfg);
+        for (a, b) in p.param_list().iter().zip(q.param_list()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+}

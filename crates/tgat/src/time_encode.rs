@@ -1,0 +1,148 @@
+//! The functional time encoding `Phi(dt) = cos(dt * omega + phi)` (Eq. 8).
+
+use serde::{Deserialize, Serialize};
+use tg_tensor::{init, Tensor};
+
+/// Learnable time encoder mapping a time delta to a `d_t`-dim vector.
+///
+/// Initialized like the reference TGAT: angular frequencies form a geometric
+/// ladder `omega_j = 1 / 10^(9 j / (d-1))` spanning ten decades, phases start
+/// at zero. Both are trained.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeEncoder {
+    /// `1 x d_t` angular frequencies.
+    pub omega: Tensor,
+    /// `1 x d_t` phases.
+    pub phi: Tensor,
+}
+
+impl TimeEncoder {
+    /// Creates the encoder with TGAT's geometric frequency initialization.
+    pub fn new(time_dim: usize) -> Self {
+        assert!(time_dim > 0, "time encoder needs a positive dimension");
+        let omega: Vec<f32> = (0..time_dim)
+            .map(|j| {
+                let exponent = if time_dim == 1 { 0.0 } else { 9.0 * j as f32 / (time_dim - 1) as f32 };
+                1.0 / 10.0f32.powf(exponent)
+            })
+            .collect();
+        Self {
+            omega: Tensor::from_vec(1, time_dim, omega),
+            phi: Tensor::zeros(1, time_dim),
+        }
+    }
+
+    /// Random-frequency variant used by some tests to avoid symmetry.
+    pub fn random(time_dim: usize, seed: u64) -> Self {
+        let mut rng = init::seeded_rng(seed);
+        Self {
+            omega: init::uniform(&mut rng, 1, time_dim, 1.0),
+            phi: init::uniform(&mut rng, 1, time_dim, std::f32::consts::PI),
+        }
+    }
+
+    /// Output dimension `d_t`.
+    pub fn dim(&self) -> usize {
+        self.omega.cols()
+    }
+
+    /// Encodes a batch of time deltas into an `[n, d_t]` tensor.
+    pub fn encode(&self, dts: &[f32]) -> Tensor {
+        let d = self.dim();
+        let om = self.omega.as_slice();
+        let ph = self.phi.as_slice();
+        let mut out = Tensor::zeros(dts.len(), d);
+        for (r, &dt) in dts.iter().enumerate() {
+            let row = out.row_mut(r);
+            for j in 0..d {
+                row[j] = (dt * om[j] + ph[j]).cos();
+            }
+        }
+        out
+    }
+
+    /// Encodes a single delta into a `1 x d_t` row.
+    pub fn encode_one(&self, dt: f32) -> Tensor {
+        self.encode(&[dt])
+    }
+
+    /// `Phi(0)` broadcast over `n` rows — the target-side encoding of
+    /// Eq. (4). The baseline recomputes this every call (it is one of the
+    /// redundancies §3.3 identifies); TGOpt's precomputation replaces it.
+    pub fn encode_zeros(&self, n: usize) -> Tensor {
+        let zero_row = self.encode_one(0.0);
+        let d = self.dim();
+        let mut out = Tensor::zeros(n, d);
+        for r in 0..n {
+            out.row_mut(r).copy_from_slice(zero_row.row(0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_span_ten_decades() {
+        let enc = TimeEncoder::new(10);
+        let om = enc.omega.as_slice();
+        assert!((om[0] - 1.0).abs() < 1e-6);
+        assert!((om[9] - 1e-9).abs() < 1e-12);
+        assert!(om.windows(2).all(|w| w[0] > w[1]), "monotone decreasing ladder");
+    }
+
+    #[test]
+    fn encode_zero_is_cos_phi() {
+        let enc = TimeEncoder::new(4);
+        let e = enc.encode_one(0.0);
+        // phi starts at zero, so Phi(0) = cos(0) = 1 everywhere.
+        assert!(e.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn encode_matches_formula() {
+        let enc = TimeEncoder::random(5, 3);
+        let dt = 2.5f32;
+        let e = enc.encode_one(dt);
+        for j in 0..5 {
+            let expected = (dt * enc.omega.get(0, j) + enc.phi.get(0, j)).cos();
+            assert!((e.get(0, j) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn encode_batch_rows_match_single_calls() {
+        let enc = TimeEncoder::new(8);
+        let dts = [0.0, 1.0, 7.0, 10000.0];
+        let batch = enc.encode(&dts);
+        for (r, &dt) in dts.iter().enumerate() {
+            assert_eq!(batch.row(r), enc.encode_one(dt).row(0));
+        }
+    }
+
+    #[test]
+    fn encode_zeros_broadcasts() {
+        let enc = TimeEncoder::random(6, 1);
+        let z = enc.encode_zeros(3);
+        assert_eq!(z.shape(), (3, 6));
+        for r in 1..3 {
+            assert_eq!(z.row(r), z.row(0));
+        }
+        assert_eq!(z.row(0), enc.encode_one(0.0).row(0));
+    }
+
+    #[test]
+    fn values_are_bounded_by_one() {
+        let enc = TimeEncoder::new(16);
+        let e = enc.encode(&[0.0, 3.3, 1e6, 1e9]);
+        assert!(e.as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn single_dim_encoder() {
+        let enc = TimeEncoder::new(1);
+        assert_eq!(enc.encode_one(5.0).shape(), (1, 1));
+    }
+}

@@ -1,0 +1,138 @@
+//! Chronological fixed-size batching of an edge stream.
+//!
+//! The paper's inference task iterates all edges of a dataset in batches of
+//! 200 (§5.1); each batch contributes both endpoints of every edge as
+//! embedding targets.
+
+use crate::{Edge, EdgeStream, NodeId, Time};
+
+/// A view over one batch of consecutive edge interactions.
+#[derive(Clone, Debug)]
+pub struct EdgeBatch<'a> {
+    pub edges: &'a [Edge],
+    /// Index of this batch within the stream.
+    pub index: usize,
+}
+
+impl EdgeBatch<'_> {
+    /// Unpacks the batch into the target lists TGAT embeds: sources then
+    /// destinations, each paired with the interaction timestamp (§3.1).
+    pub fn targets(&self) -> (Vec<NodeId>, Vec<Time>) {
+        let n = self.edges.len();
+        let mut ns = Vec::with_capacity(2 * n);
+        let mut ts = Vec::with_capacity(2 * n);
+        for e in self.edges {
+            ns.push(e.src);
+            ts.push(e.time);
+        }
+        for e in self.edges {
+            ns.push(e.dst);
+            ts.push(e.time);
+        }
+        (ns, ts)
+    }
+
+    /// Number of edges in the batch.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Iterator over fixed-size chronological batches of a stream.
+pub struct BatchIter<'a> {
+    edges: &'a [Edge],
+    batch_size: usize,
+    pos: usize,
+    index: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    pub fn new(stream: &'a EdgeStream, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { edges: stream.edges(), batch_size, pos: 0, index: 0 }
+    }
+
+    /// Total number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        self.edges.len().div_ceil(self.batch_size)
+    }
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = EdgeBatch<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.edges.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.edges.len());
+        let b = EdgeBatch { edges: &self.edges[self.pos..end], index: self.index };
+        self.pos = end;
+        self.index += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.edges.len() - self.pos).div_ceil(self.batch_size);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for BatchIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> EdgeStream {
+        let srcs: Vec<NodeId> = (0..n as u32).collect();
+        let dsts: Vec<NodeId> = (0..n as u32).map(|i| i + 1).collect();
+        let times: Vec<Time> = (0..n).map(|i| i as Time).collect();
+        EdgeStream::new(&srcs, &dsts, &times)
+    }
+
+    #[test]
+    fn batches_cover_stream_without_overlap() {
+        let s = stream(450);
+        let it = BatchIter::new(&s, 200);
+        assert_eq!(it.num_batches(), 3);
+        let sizes: Vec<usize> = it.map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![200, 200, 50]);
+    }
+
+    #[test]
+    fn batch_indices_are_sequential() {
+        let s = stream(10);
+        let idxs: Vec<usize> = BatchIter::new(&s, 3).map(|b| b.index).collect();
+        assert_eq!(idxs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn targets_are_sources_then_destinations() {
+        let s = stream(2);
+        let b = BatchIter::new(&s, 2).next().unwrap();
+        let (ns, ts) = b.targets();
+        assert_eq!(ns, vec![0, 1, 1, 2]);
+        assert_eq!(ts, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let s = stream(7);
+        let mut it = BatchIter::new(&s, 3);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let s = EdgeStream::new(&[], &[], &[]);
+        assert_eq!(BatchIter::new(&s, 5).count(), 0);
+    }
+}

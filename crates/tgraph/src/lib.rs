@@ -1,0 +1,34 @@
+//! Continuous-time dynamic graph (CTDG) storage and temporal sampling.
+//!
+//! A CTDG is a stream of timestamped edge interactions (paper §2). This
+//! crate provides:
+//!
+//! * [`EdgeStream`] — the raw chronological interaction list a dataset
+//!   produces and a model consumes in batches.
+//! * [`TemporalGraph`] — a time-sorted CSR adjacency ("T-CSR", after TGL),
+//!   supporting incremental insertion as the stream is replayed, plus edge
+//!   deletion for the cache-invalidation extension.
+//! * [`sampler`] — parallel most-recent and uniform temporal neighborhood
+//!   samplers upholding the temporal constraint `t_j < t`.
+//! * [`batch`] — fixed-size chronological batch iteration (batch size 200 in
+//!   the paper's inference task).
+//!
+//! Node ids are `u32` and timestamps `f32`, matching the 32-bit values the
+//! paper's collision-free 64-bit hash packs together (§4.1).
+
+pub mod batch;
+pub mod graph;
+pub mod sampler;
+pub mod stream;
+
+pub use batch::{BatchIter, EdgeBatch};
+pub use graph::TemporalGraph;
+pub use sampler::{NeighborhoodBatch, SamplingStrategy, TemporalSampler, INVALID_EDGE};
+pub use stream::{Edge, EdgeStream};
+
+/// Node identifier (32-bit, per the paper's key-packing scheme).
+pub type NodeId = u32;
+/// Edge identifier, used to index edge feature rows.
+pub type EdgeId = u32;
+/// Event timestamp (32-bit float, as in the reference implementation).
+pub type Time = f32;

@@ -1,0 +1,296 @@
+//! Temporal neighborhood sampling (the `NghLookup` operation of Algorithm 1).
+//!
+//! Given target pairs `(node, t)` the sampler returns up to `k` neighbors
+//! whose interactions satisfy the temporal constraint `t_j < t`. The paper
+//! uses *most-recent* sampling (the last `k` interactions before `t`), which
+//! is the property its memoization correctness argument rests on (§3.2); a
+//! *uniform* strategy is provided for the future-work comparison (§7) — the
+//! TGOpt engine automatically bypasses the embedding cache when it is used.
+
+use crate::{EdgeId, NodeId, TemporalGraph, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Edge id marking a padding slot in a sampled neighborhood.
+pub const INVALID_EDGE: EdgeId = EdgeId::MAX;
+
+/// How neighbors are picked from the temporal neighborhood.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// The `k` interactions with the largest timestamps below `t`.
+    /// Deterministic — this is what makes embedding memoization sound.
+    MostRecent,
+    /// `k` interactions drawn uniformly (with replacement) from the history.
+    /// Seeded per `(node, t)` so a given target is reproducible, but results
+    /// change as the history grows, so cached embeddings cannot be reused.
+    Uniform { seed: u64 },
+}
+
+/// A sampled `k`-neighborhood for each of `n` targets, stored as flat
+/// `n * k` arrays (row-major; row `i` is target `i`'s slots).
+#[derive(Clone, Debug)]
+pub struct NeighborhoodBatch {
+    pub n_targets: usize,
+    pub k: usize,
+    /// Neighbor node ids; padding slots hold 0 and must be masked.
+    pub nodes: Vec<NodeId>,
+    /// Neighbor interaction timestamps; padding slots hold the target time.
+    pub times: Vec<Time>,
+    /// Edge feature row per slot; [`INVALID_EDGE`] marks padding.
+    pub eids: Vec<EdgeId>,
+    /// Time deltas `t - t_j`; 0 for padding slots.
+    pub dts: Vec<Time>,
+}
+
+impl NeighborhoodBatch {
+    fn empty(n_targets: usize, k: usize, ts: &[Time]) -> Self {
+        let mut times = Vec::with_capacity(n_targets * k);
+        for &t in ts {
+            times.extend(std::iter::repeat_n(t, k));
+        }
+        Self {
+            n_targets,
+            k,
+            nodes: vec![0; n_targets * k],
+            times,
+            eids: vec![INVALID_EDGE; n_targets * k],
+            dts: vec![0.0; n_targets * k],
+        }
+    }
+
+    /// True if slot `i` holds a real neighbor (not padding).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.eids[i] != INVALID_EDGE
+    }
+
+    /// Boolean validity mask over all `n * k` slots.
+    pub fn mask(&self) -> Vec<bool> {
+        self.eids.iter().map(|&e| e != INVALID_EDGE).collect()
+    }
+
+    /// Number of real (non-padding) neighbor slots.
+    pub fn num_valid(&self) -> usize {
+        self.eids.iter().filter(|&&e| e != INVALID_EDGE).count()
+    }
+}
+
+/// Batch temporal sampler.
+///
+/// ```
+/// use tg_graph::{Edge, TemporalGraph, TemporalSampler};
+///
+/// let mut g = TemporalGraph::with_nodes(4);
+/// for (i, (dst, t)) in [(1u32, 1.0f32), (2, 2.0), (3, 3.0)].iter().enumerate() {
+///     g.insert(&Edge { src: 0, dst: *dst, time: *t, eid: i as u32 });
+/// }
+/// // Two most-recent neighbors of node 0 strictly before t=3.0:
+/// let nb = TemporalSampler::most_recent(2).sample(&g, &[0], &[3.0]);
+/// assert_eq!(&nb.nodes[..2], &[1, 2]);     // chronological order
+/// assert_eq!(&nb.dts[..2], &[2.0, 1.0]);   // t - t_j
+/// assert_eq!(nb.num_valid(), 2);           // the t=3.0 edge is excluded
+/// ```
+#[derive(Clone, Debug)]
+pub struct TemporalSampler {
+    k: usize,
+    strategy: SamplingStrategy,
+    /// Parallelize across targets when the batch is large enough.
+    parallel: bool,
+}
+
+/// Below this many targets, sequential sampling beats rayon overheads.
+const PAR_MIN_TARGETS: usize = 64;
+
+impl TemporalSampler {
+    pub fn new(k: usize, strategy: SamplingStrategy) -> Self {
+        assert!(k > 0, "sampler needs k >= 1");
+        Self { k, strategy, parallel: true }
+    }
+
+    /// Most-recent sampler with paper-default parallelism.
+    pub fn most_recent(k: usize) -> Self {
+        Self::new(k, SamplingStrategy::MostRecent)
+    }
+
+    /// Disables cross-target parallelism (for the ablation benches).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Neighbors sampled per target.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> SamplingStrategy {
+        self.strategy
+    }
+
+    /// Samples the temporal neighborhood of every `(ns[i], ts[i])` target.
+    pub fn sample(&self, g: &TemporalGraph, ns: &[NodeId], ts: &[Time]) -> NeighborhoodBatch {
+        assert_eq!(ns.len(), ts.len(), "node/time target arrays differ in length");
+        let n = ns.len();
+        let mut out = NeighborhoodBatch::empty(n, self.k, ts);
+        let k = self.k;
+        let strategy = self.strategy;
+        let fill = |i: usize, nodes: &mut [NodeId], times: &mut [Time], eids: &mut [EdgeId], dts: &mut [Time]| {
+            let hist = g.neighbors_before(ns[i], ts[i]);
+            if hist.is_empty() {
+                return;
+            }
+            match strategy {
+                SamplingStrategy::MostRecent => {
+                    let take = hist.len().min(k);
+                    let tail = &hist[hist.len() - take..];
+                    for (slot, e) in tail.iter().enumerate() {
+                        nodes[slot] = e.ngh;
+                        times[slot] = e.time;
+                        eids[slot] = e.eid;
+                        dts[slot] = ts[i] - e.time;
+                    }
+                }
+                SamplingStrategy::Uniform { seed } => {
+                    // Deterministic per-target stream: reruns of the same
+                    // (node, t) pick the same neighbors.
+                    let s = seed
+                        ^ (ns[i] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (ts[i].to_bits() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+                    let mut rng = StdRng::seed_from_u64(s);
+                    for slot in 0..k.min(hist.len()) {
+                        let e = &hist[rng.gen_range(0..hist.len())];
+                        nodes[slot] = e.ngh;
+                        times[slot] = e.time;
+                        eids[slot] = e.eid;
+                        dts[slot] = ts[i] - e.time;
+                    }
+                }
+            }
+        };
+        if self.parallel && n >= PAR_MIN_TARGETS {
+            out.nodes
+                .par_chunks_mut(k)
+                .zip(out.times.par_chunks_mut(k))
+                .zip(out.eids.par_chunks_mut(k))
+                .zip(out.dts.par_chunks_mut(k))
+                .enumerate()
+                .for_each(|(i, (((nodes, times), eids), dts))| fill(i, nodes, times, eids, dts));
+        } else {
+            for i in 0..n {
+                let (nodes, times, eids, dts) = (
+                    &mut out.nodes[i * k..(i + 1) * k],
+                    &mut out.times[i * k..(i + 1) * k],
+                    &mut out.eids[i * k..(i + 1) * k],
+                    &mut out.dts[i * k..(i + 1) * k],
+                );
+                fill(i, nodes, times, eids, dts);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Edge;
+
+    fn line_graph() -> TemporalGraph {
+        // node 0 interacts with 1..=5 at times 1..=5
+        let mut g = TemporalGraph::with_nodes(6);
+        for i in 1..=5u32 {
+            g.insert(&Edge { src: 0, dst: i, time: i as Time, eid: i - 1 });
+        }
+        g
+    }
+
+    #[test]
+    fn most_recent_takes_latest_k_in_order() {
+        let g = line_graph();
+        let s = TemporalSampler::most_recent(3);
+        let nb = s.sample(&g, &[0], &[10.0]);
+        assert_eq!(nb.num_valid(), 3);
+        // latest three interactions, chronological: 3, 4, 5
+        assert_eq!(&nb.nodes[..3], &[3, 4, 5]);
+        assert_eq!(&nb.times[..3], &[3.0, 4.0, 5.0]);
+        assert_eq!(&nb.dts[..3], &[7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn temporal_constraint_is_strict() {
+        let g = line_graph();
+        let s = TemporalSampler::most_recent(10);
+        let nb = s.sample(&g, &[0], &[3.0]);
+        // only interactions with t_j < 3 qualify
+        assert_eq!(nb.num_valid(), 2);
+        assert!(nb.times[..2].iter().all(|&t| t < 3.0));
+    }
+
+    #[test]
+    fn padding_has_zero_dt_and_invalid_eid() {
+        let g = line_graph();
+        let s = TemporalSampler::most_recent(4);
+        let nb = s.sample(&g, &[0, 5], &[2.5, 1.0]);
+        // target 1 (node 5 at t=1.0) has no earlier interactions
+        let row1 = &nb.eids[4..8];
+        assert!(row1.iter().all(|&e| e == INVALID_EDGE));
+        assert!(nb.dts[4..8].iter().all(|&d| d == 0.0));
+        assert_eq!(nb.times[4..8], [1.0; 4]);
+        let mask = nb.mask();
+        assert_eq!(mask[..4].iter().filter(|&&m| m).count(), 2);
+        assert!(mask[4..8].iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn same_target_same_subgraph() {
+        // The memoization premise (§3.2): sampling the same (i, t) after the
+        // graph gained new, later interactions yields the identical result.
+        let mut g = line_graph();
+        let s = TemporalSampler::most_recent(3);
+        let before = s.sample(&g, &[0], &[4.5]);
+        g.insert(&Edge { src: 0, dst: 1, time: 9.0, eid: 99 });
+        let after = s.sample(&g, &[0], &[4.5]);
+        assert_eq!(before.nodes, after.nodes);
+        assert_eq!(before.times, after.times);
+        assert_eq!(before.eids, after.eids);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut g = TemporalGraph::with_nodes(50);
+        for (eid, t) in (1..400u32).enumerate() {
+            g.insert(&Edge { src: t % 50, dst: (t * 7) % 50, time: t as Time, eid: eid as u32 });
+        }
+        let ns: Vec<NodeId> = (0..200).map(|i| i % 50).collect();
+        let ts: Vec<Time> = (0..200).map(|i| 100.0 + i as Time).collect();
+        let par = TemporalSampler::most_recent(5).sample(&g, &ns, &ts);
+        let seq = TemporalSampler::most_recent(5).sequential().sample(&g, &ns, &ts);
+        assert_eq!(par.nodes, seq.nodes);
+        assert_eq!(par.eids, seq.eids);
+        assert_eq!(par.dts, seq.dts);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_target_and_respects_time() {
+        let g = line_graph();
+        let s = TemporalSampler::new(4, SamplingStrategy::Uniform { seed: 7 });
+        let a = s.sample(&g, &[0], &[4.0]);
+        let b = s.sample(&g, &[0], &[4.0]);
+        assert_eq!(a.nodes, b.nodes);
+        for i in 0..4 {
+            if a.is_valid(i) {
+                assert!(a.times[i] < 4.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_targets() {
+        let g = line_graph();
+        let nb = TemporalSampler::most_recent(3).sample(&g, &[], &[]);
+        assert_eq!(nb.n_targets, 0);
+        assert!(nb.nodes.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the temporal graph store and samplers: the
+//! temporal constraint, the most-recent window semantics, and the
+//! reuse-enabling invariance of §3.2.
+
+use proptest::prelude::*;
+use tg_graph::{
+    BatchIter, Edge, EdgeStream, NodeId, SamplingStrategy, TemporalGraph, TemporalSampler, Time,
+};
+
+/// A random time-sorted edge stream over up to `max_nodes` nodes.
+fn stream_strategy(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = EdgeStream> {
+    proptest::collection::vec((0..max_nodes, 0..max_nodes, 0u32..50), 1..max_edges).prop_map(
+        |triples| {
+            let mut t = 0.0f32;
+            let edges: Vec<Edge> = triples
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, d, gap))| {
+                    t += gap as f32;
+                    Edge { src: s, dst: d, time: t, eid: i as u32 }
+                })
+                .collect();
+            EdgeStream::from_edges(edges)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adjacency_is_time_sorted_and_bidirectional(stream in stream_strategy(12, 60)) {
+        let g = TemporalGraph::from_stream(&stream);
+        prop_assert_eq!(g.num_edges(), stream.len());
+        for n in 0..g.num_nodes() as NodeId {
+            let adj = g.neighbors(n);
+            prop_assert!(adj.windows(2).all(|w| w[0].time <= w[1].time));
+            for e in adj {
+                // The reverse direction must exist with the same edge id.
+                prop_assert!(g.neighbors(e.ngh).iter().any(|r| r.eid == e.eid && r.ngh == n));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_neighbors_respect_the_temporal_constraint(
+        stream in stream_strategy(12, 60),
+        k in 1usize..6,
+        t_frac in 0.0f64..1.2,
+    ) {
+        let g = TemporalGraph::from_stream(&stream);
+        let t = (stream.max_time() as f64 * t_frac) as Time;
+        let ns: Vec<NodeId> = (0..12).collect();
+        let ts = vec![t; ns.len()];
+        let nb = TemporalSampler::most_recent(k).sample(&g, &ns, &ts);
+        for i in 0..nb.nodes.len() {
+            if nb.is_valid(i) {
+                prop_assert!(nb.times[i] < t, "edge time {} !< target {}", nb.times[i], t);
+                prop_assert!(nb.dts[i] > 0.0);
+            } else {
+                prop_assert_eq!(nb.dts[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn most_recent_is_the_suffix_of_the_history(
+        stream in stream_strategy(10, 60),
+        k in 1usize..6,
+    ) {
+        let g = TemporalGraph::from_stream(&stream);
+        let t = stream.max_time() * 2.0 + 1.0;
+        for n in 0..10u32 {
+            let nb = TemporalSampler::most_recent(k).sample(&g, &[n], &[t]);
+            let hist = g.neighbors_before(n, t);
+            let take = hist.len().min(k);
+            let expected = &hist[hist.len() - take..];
+            for (slot, e) in expected.iter().enumerate() {
+                prop_assert_eq!(nb.eids[slot], e.eid);
+                prop_assert_eq!(nb.nodes[slot], e.ngh);
+            }
+            prop_assert_eq!(nb.num_valid(), take);
+        }
+    }
+
+    #[test]
+    fn same_target_same_subgraph_after_later_insertions(
+        stream in stream_strategy(10, 50),
+        extra in proptest::collection::vec((0u32..10, 0u32..10, 1u32..20), 1..10),
+    ) {
+        // §3.2: appending strictly-later interactions never changes the
+        // sampled subgraph of an existing (node, t) target.
+        let mut g = TemporalGraph::from_stream(&stream);
+        let sampler = TemporalSampler::most_recent(4);
+        let t = stream.max_time() * 0.7;
+        let ns: Vec<NodeId> = (0..10).collect();
+        let ts = vec![t; ns.len()];
+        let before = sampler.sample(&g, &ns, &ts);
+        let mut time = stream.max_time() + 1.0;
+        for (i, (s, d, gap)) in extra.into_iter().enumerate() {
+            time += gap as f32;
+            g.insert(&Edge { src: s, dst: d, time, eid: 10_000 + i as u32 });
+        }
+        let after = sampler.sample(&g, &ns, &ts);
+        prop_assert_eq!(before.nodes, after.nodes);
+        prop_assert_eq!(before.times, after.times);
+        prop_assert_eq!(before.eids, after.eids);
+    }
+
+    #[test]
+    fn uniform_sampling_stays_within_history(
+        stream in stream_strategy(10, 50),
+        seed in 0u64..100,
+    ) {
+        let g = TemporalGraph::from_stream(&stream);
+        let t = stream.max_time() * 0.9;
+        let sampler = TemporalSampler::new(5, SamplingStrategy::Uniform { seed });
+        let ns: Vec<NodeId> = (0..10).collect();
+        let nb = sampler.sample(&g, &ns, &[t; 10]);
+        for i in 0..nb.nodes.len() {
+            if nb.is_valid(i) {
+                let target = ns[i / 5];
+                prop_assert!(nb.times[i] < t);
+                prop_assert!(g
+                    .neighbors(target)
+                    .iter()
+                    .any(|e| e.eid == nb.eids[i]), "sampled edge must exist in history");
+            }
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_stream(stream in stream_strategy(12, 80), bs in 1usize..30) {
+        let total: usize = BatchIter::new(&stream, bs).map(|b| b.len()).sum();
+        prop_assert_eq!(total, stream.len());
+        let mut seen = 0usize;
+        for b in BatchIter::new(&stream, bs) {
+            for e in b.edges {
+                prop_assert_eq!(e.eid as usize, seen, "batches must be chronological");
+                seen += 1;
+            }
+            prop_assert!(b.len() <= bs);
+        }
+    }
+
+    #[test]
+    fn deletions_shrink_history(stream in stream_strategy(8, 40), victim in 0usize..40) {
+        let mut g = TemporalGraph::from_stream(&stream);
+        if victim >= stream.len() { return Ok(()); }
+        let e = stream.edges()[victim];
+        let before_src = g.degree(e.src);
+        prop_assert!(g.delete_edge(e.src, e.dst, e.eid));
+        if e.src == e.dst {
+            prop_assert_eq!(g.degree(e.src), before_src - 2);
+        } else {
+            prop_assert_eq!(g.degree(e.src), before_src - 1);
+        }
+        prop_assert!(!g.neighbors(e.src).iter().any(|x| x.eid == e.eid));
+        prop_assert!(!g.neighbors(e.dst).iter().any(|x| x.eid == e.eid));
+    }
+}

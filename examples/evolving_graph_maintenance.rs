@@ -1,0 +1,95 @@
+//! Maintaining the TGOpt cache while the graph changes — the paper's
+//! future-work scenario (§7), implemented here: pure edge *additions* are
+//! reuse-safe under most-recent sampling, so the cache is carried across
+//! graph growth; edge *deletions* change history and require invalidating
+//! the affected nodes' cached embeddings.
+//!
+//! ```sh
+//! cargo run --release --example evolving_graph_maintenance
+//! ```
+
+use tgopt_repro::datasets;
+use tgopt_repro::graph::{Edge, TemporalGraph};
+use tgopt_repro::tensor::Tensor;
+use tgopt_repro::tgat::engine::GraphContext;
+use tgopt_repro::tgat::{BaselineEngine, TgatConfig, TgatParams};
+use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
+
+fn main() {
+    let spec = datasets::spec_by_name("snap-msg").expect("known dataset");
+    let data = datasets::generate(&spec, 0.2, 3);
+    let cfg = TgatConfig {
+        dim: 24,
+        edge_dim: data.dim(),
+        time_dim: 24,
+        n_layers: 2,
+        n_heads: 2,
+        n_neighbors: 8,
+    };
+    let params = TgatParams::init(cfg, 21);
+    let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
+
+    // Phase 1: serve queries over the first 80% of the history.
+    let edges = data.stream.edges();
+    let split = edges.len() * 8 / 10;
+    let mut graph = TemporalGraph::with_nodes(data.stream.num_nodes());
+    for e in &edges[..split] {
+        graph.insert(e);
+    }
+    let t1 = edges[split - 1].time + 1.0;
+    let queries: Vec<u32> = (0..40).map(|i| edges[i * 7 % split].src).collect();
+    let qts = vec![t1; queries.len()];
+
+    let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
+    let mut engine = TgoptEngine::new(&params, ctx, OptConfig::all());
+    let _ = engine.embed_batch(&queries, &qts);
+    let warm = engine.cache().len();
+    println!("phase 1: warmed cache with {warm} embeddings over {split} edges");
+
+    // Phase 2: the graph grows. Additions never change an existing target's
+    // temporal subgraph (t_j < t screens them out), so the cache is carried
+    // over unchanged via into_cache/with_cache.
+    let (cache, counters) = engine.into_cache();
+    for e in &edges[split..] {
+        graph.insert(e);
+    }
+    let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
+    let mut engine = TgoptEngine::with_cache(&params, ctx, OptConfig::all(), cache, counters);
+    let before = engine.counters();
+    let h_grown = engine.embed_batch(&queries, &qts);
+    let delta = engine.counters().delta_since(&before);
+    println!(
+        "phase 2: after growth, re-query at the same (node, t): {:.0}% served from cache",
+        100.0 * delta.hit_rate()
+    );
+
+    // Sanity: a cold baseline on the grown graph agrees exactly.
+    let mut cold = BaselineEngine::new(&params, ctx);
+    let h_cold = cold.embed_batch(&queries, &qts);
+    println!(
+        "         cached results match a cold baseline within {:.1e}",
+        h_grown.max_abs_diff(&h_cold)
+    );
+    assert!(h_grown.max_abs_diff(&h_cold) < 1e-4);
+
+    // Phase 3: an edge is deleted (retracted message). History changed, so
+    // cached embeddings of both endpoints are invalidated before re-serving.
+    let victim: Edge = edges[split / 2];
+    let (cache, counters) = engine.into_cache();
+    graph.delete_edge(victim.src, victim.dst, victim.eid);
+    let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
+    let mut engine = TgoptEngine::with_cache(&params, ctx, OptConfig::all(), cache, counters);
+    let dropped = engine.invalidate_node(victim.src) + engine.invalidate_node(victim.dst);
+    println!(
+        "phase 3: deleted edge ({}, {}, t={}); invalidated {dropped} cached embeddings",
+        victim.src, victim.dst, victim.time
+    );
+
+    let h_after = engine.embed_batch(&queries, &qts);
+    let mut fresh = BaselineEngine::new(&params, ctx);
+    let h_fresh = fresh.embed_batch(&queries, &qts);
+    let diff = h_after.max_abs_diff(&h_fresh);
+    println!("         post-delete embeddings match a fresh baseline within {diff:.1e}");
+    assert!(diff < 1e-4, "invalidation must restore correctness");
+    println!("\ncache maintained across growth and deletion without recomputing the world.");
+}

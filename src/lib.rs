@@ -1,0 +1,11 @@
+//! Umbrella crate for the TGOpt reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use tg_datasets as datasets;
+pub use tg_graph as graph;
+pub use tg_tensor as tensor;
+pub use tgat;
+pub use tgopt;

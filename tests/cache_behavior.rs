@@ -1,0 +1,150 @@
+//! Cross-crate cache behavior: limits, hit-rate growth over a replayed
+//! stream, reuse accounting, and sampling-strategy interactions.
+
+use tgopt_repro::datasets::{generate, spec_by_name};
+use tgopt_repro::graph::{BatchIter, SamplingStrategy, TemporalGraph, TemporalSampler};
+use tgopt_repro::tensor::Tensor;
+use tgopt_repro::tgat::engine::GraphContext;
+use tgopt_repro::tgat::{TgatConfig, TgatParams};
+use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
+
+fn cfg(edge_dim: usize) -> TgatConfig {
+    TgatConfig { dim: 8, edge_dim, time_dim: 8, n_layers: 2, n_heads: 2, n_neighbors: 5 }
+}
+
+struct World {
+    data: tgopt_repro::datasets::Dataset,
+    graph: TemporalGraph,
+    node_features: Tensor,
+    params: TgatParams,
+}
+
+fn world(name: &str, scale: f64) -> World {
+    let spec = spec_by_name(name).unwrap();
+    let data = generate(&spec, scale, 3);
+    let cfg = cfg(data.dim());
+    let params = TgatParams::init(cfg, 2);
+    let graph = TemporalGraph::from_stream(&data.stream);
+    let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
+    World { data, graph, node_features, params }
+}
+
+impl World {
+    fn ctx(&self) -> GraphContext<'_> {
+        GraphContext {
+            graph: &self.graph,
+            node_features: &self.node_features,
+            edge_features: &self.data.edge_features,
+        }
+    }
+}
+
+#[test]
+fn cache_never_exceeds_its_limit_during_replay() {
+    let w = world("snap-msg", 0.05);
+    let limit = 64;
+    let mut eng = TgoptEngine::new(&w.params, w.ctx(), OptConfig::all().with_cache_limit(limit));
+    for batch in BatchIter::new(&w.data.stream, 50) {
+        let (ns, ts) = batch.targets();
+        let _ = eng.embed_batch(&ns, &ts);
+        assert!(eng.cache().len() <= limit, "cache overflow: {}", eng.cache().len());
+    }
+    assert!(eng.cache().total_evictions() > 0, "limit was never exercised");
+}
+
+#[test]
+fn hit_rate_grows_as_the_stream_progresses() {
+    let w = world("jodie-lastfm", 0.005);
+    let mut eng = TgoptEngine::new(&w.params, w.ctx(), OptConfig::all());
+    let mut per_batch = Vec::new();
+    let mut prev = eng.counters();
+    for batch in BatchIter::new(&w.data.stream, 200) {
+        let (ns, ts) = batch.targets();
+        let _ = eng.embed_batch(&ns, &ts);
+        let now = eng.counters();
+        per_batch.push(now.delta_since(&prev).hit_rate());
+        prev = now;
+    }
+    assert!(per_batch.len() >= 10, "need a real stream for this test");
+    let early: f64 = per_batch[1..4].iter().sum::<f64>() / 3.0;
+    let late_window = &per_batch[per_batch.len() - 3..];
+    let late: f64 = late_window.iter().sum::<f64>() / late_window.len() as f64;
+    assert!(
+        late > early,
+        "hit rate should climb over time: early {early:.3}, late {late:.3}"
+    );
+    assert!(late > 0.5, "late hit rate should be substantial, got {late:.3}");
+}
+
+#[test]
+fn unbounded_cache_reuse_dominates_on_jodie_like_data() {
+    // Figure 3's claim: reuse grows to dominate recomputation.
+    let w = world("jodie-wiki", 0.1);
+    let mut eng =
+        TgoptEngine::new(&w.params, w.ctx(), OptConfig::all().with_cache_limit(usize::MAX / 2));
+    for batch in BatchIter::new(&w.data.stream, 200) {
+        let (ns, ts) = batch.targets();
+        let _ = eng.embed_batch(&ns, &ts);
+    }
+    let c = eng.counters();
+    assert!(
+        c.cache_hits > c.cache_stores,
+        "reuse ({}) should exceed recomputation-and-store ({})",
+        c.cache_hits,
+        c.cache_stores
+    );
+}
+
+#[test]
+fn smaller_cache_means_fewer_hits_but_same_results() {
+    let w = world("snap-email", 0.01);
+    let run = |limit: usize| {
+        let mut eng =
+            TgoptEngine::new(&w.params, w.ctx(), OptConfig::all().with_cache_limit(limit));
+        let mut checksum = 0.0f64;
+        for batch in BatchIter::new(&w.data.stream, 100) {
+            let (ns, ts) = batch.targets();
+            let h = eng.embed_batch(&ns, &ts);
+            checksum += h.as_slice().iter().map(|&v| v as f64).sum::<f64>();
+        }
+        (eng.counters().hit_rate(), checksum)
+    };
+    let (small_rate, small_sum) = run(32);
+    let (big_rate, big_sum) = run(100_000);
+    assert!(big_rate >= small_rate, "bigger cache can't hit less: {big_rate} vs {small_rate}");
+    let drift = (small_sum - big_sum).abs() / big_sum.abs().max(1.0);
+    assert!(drift < 1e-4, "cache size must not change results (drift {drift:.2e})");
+}
+
+#[test]
+fn uniform_sampling_disables_memoization_but_still_works() {
+    let w = world("snap-msg", 0.02);
+    let sampler = TemporalSampler::new(5, SamplingStrategy::Uniform { seed: 4 });
+    let mut eng = TgoptEngine::with_sampler(&w.params, w.ctx(), OptConfig::all(), sampler);
+    assert!(!eng.memoization_active());
+    for batch in BatchIter::new(&w.data.stream, 100) {
+        let (ns, ts) = batch.targets();
+        let h = eng.embed_batch(&ns, &ts);
+        assert!(h.all_finite());
+    }
+    assert_eq!(eng.counters().cache_lookups, 0);
+    assert!(eng.cache().is_empty());
+    assert!(eng.counters().dedup_removed > 0, "dedup stays active under uniform sampling");
+}
+
+#[test]
+fn time_window_hit_rate_is_high_on_bursty_data() {
+    let w = world("snap-msg", 0.05);
+    let mut eng = TgoptEngine::new(&w.params, w.ctx(), OptConfig::all());
+    for batch in BatchIter::new(&w.data.stream, 100) {
+        let (ns, ts) = batch.targets();
+        let _ = eng.embed_batch(&ns, &ts);
+    }
+    let (hits, misses) = eng.time_cache_stats();
+    assert!(hits + misses > 0);
+    assert!(
+        eng.time_cache_hit_rate() > 0.3,
+        "deltas cluster near zero, so the window should serve many: {:.3}",
+        eng.time_cache_hit_rate()
+    );
+}

@@ -1,0 +1,73 @@
+//! Determinism: everything in the pipeline is reproducible from seeds —
+//! generation, initialization, and both engines — including under the
+//! (single-core or multi-core) rayon parallel paths, which only partition
+//! work and never reorder accumulation.
+
+use tgopt_repro::datasets::{generate, spec_by_name};
+use tgopt_repro::graph::{BatchIter, TemporalGraph};
+use tgopt_repro::tensor::Tensor;
+use tgopt_repro::tgat::engine::GraphContext;
+use tgopt_repro::tgat::{BaselineEngine, TgatConfig, TgatParams};
+use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
+
+fn full_replay(seed: u64, opt: Option<OptConfig>) -> Vec<f32> {
+    let spec = spec_by_name("snap-email").unwrap();
+    let data = generate(&spec, 0.004, seed);
+    let cfg = TgatConfig {
+        dim: 8,
+        edge_dim: data.dim(),
+        time_dim: 8,
+        n_layers: 2,
+        n_heads: 2,
+        n_neighbors: 4,
+    };
+    let params = TgatParams::init(cfg, seed);
+    let graph = TemporalGraph::from_stream(&data.stream);
+    let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
+    let ctx = GraphContext {
+        graph: &graph,
+        node_features: &node_features,
+        edge_features: &data.edge_features,
+    };
+    let mut out = Vec::new();
+    match opt {
+        None => {
+            let mut eng = BaselineEngine::new(&params, ctx);
+            for batch in BatchIter::new(&data.stream, 100) {
+                let (ns, ts) = batch.targets();
+                out.extend_from_slice(eng.embed_batch(&ns, &ts).as_slice());
+            }
+        }
+        Some(opt) => {
+            let mut eng = TgoptEngine::new(&params, ctx, opt);
+            for batch in BatchIter::new(&data.stream, 100) {
+                let (ns, ts) = batch.targets();
+                out.extend_from_slice(eng.embed_batch(&ns, &ts).as_slice());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn baseline_replay_is_bitwise_deterministic() {
+    assert_eq!(full_replay(11, None), full_replay(11, None));
+}
+
+#[test]
+fn tgopt_replay_is_bitwise_deterministic() {
+    let opt = OptConfig::all();
+    assert_eq!(full_replay(11, Some(opt)), full_replay(11, Some(opt)));
+}
+
+#[test]
+fn parallel_flags_do_not_change_bits() {
+    let par = OptConfig { parallel_lookup: true, parallel_store: true, ..OptConfig::all() };
+    let seq = OptConfig { parallel_lookup: false, parallel_store: false, ..OptConfig::all() };
+    assert_eq!(full_replay(11, Some(par)), full_replay(11, Some(seq)));
+}
+
+#[test]
+fn different_seeds_produce_different_embeddings() {
+    assert_ne!(full_replay(11, None), full_replay(12, None));
+}

@@ -1,0 +1,82 @@
+//! Warm restarts: snapshotting the embedding caches to disk and restoring
+//! them lets a restarted server skip the Figure 7 hit-rate ramp-up.
+
+use std::sync::Arc;
+use tgopt_repro::datasets::{generate, spec_by_name};
+use tgopt_repro::graph::{BatchIter, TemporalGraph};
+use tgopt_repro::tensor::Tensor;
+use tgopt_repro::tgat::engine::GraphContext;
+use tgopt_repro::tgat::{TgatConfig, TgatParams};
+use tgopt_repro::tgopt::{persist, OptConfig, TgoptEngine};
+
+#[test]
+fn snapshot_restore_continues_with_full_reuse() {
+    let spec = spec_by_name("snap-email").unwrap();
+    let data = generate(&spec, 0.01, 31);
+    let cfg = TgatConfig {
+        dim: 8,
+        edge_dim: data.dim(),
+        time_dim: 8,
+        n_layers: 2,
+        n_heads: 2,
+        n_neighbors: 4,
+    };
+    let params = TgatParams::init(cfg, 9);
+    let graph = TemporalGraph::from_stream(&data.stream);
+    let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
+    let ctx = GraphContext {
+        graph: &graph,
+        node_features: &node_features,
+        edge_features: &data.edge_features,
+    };
+
+    // Continuous reference run over the whole stream.
+    let mut reference = TgoptEngine::new(&params, ctx, OptConfig::all());
+    let mut ref_sums: Vec<f64> = Vec::new();
+    for batch in BatchIter::new(&data.stream, 100) {
+        let (ns, ts) = batch.targets();
+        let h = reference.embed_batch(&ns, &ts);
+        ref_sums.push(h.as_slice().iter().map(|&v| v as f64).sum());
+    }
+
+    // Run A: first half, then snapshot to disk.
+    let half = BatchIter::new(&data.stream, 100).num_batches() / 2;
+    let mut a = TgoptEngine::new(&params, ctx, OptConfig::all());
+    for batch in BatchIter::new(&data.stream, 100).take(half) {
+        let (ns, ts) = batch.targets();
+        let _ = a.embed_batch(&ns, &ts);
+    }
+    let path = std::env::temp_dir().join(format!("tgopt-warm-{}.bin", std::process::id()));
+    persist::save(a.cache(), &path).unwrap();
+    let warm_items = a.cache().len();
+    drop(a); // "process exits"
+
+    // Run B: restore and continue from the second half.
+    let restored = persist::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.len(), warm_items, "snapshot captured everything");
+    let mut b = TgoptEngine::with_cache(
+        &params,
+        ctx,
+        OptConfig::all(),
+        Arc::new(restored),
+        Default::default(),
+    );
+    for (i, batch) in BatchIter::new(&data.stream, 100).enumerate().skip(half) {
+        let (ns, ts) = batch.targets();
+        let h = b.embed_batch(&ns, &ts);
+        let sum: f64 = h.as_slice().iter().map(|&v| v as f64).sum();
+        let drift = (sum - ref_sums[i]).abs() / ref_sums[i].abs().max(1.0);
+        assert!(drift < 1e-9, "batch {i}: restored run diverged (drift {drift:.2e})");
+    }
+    // The restored run must reuse, not rebuild: its stores are far fewer
+    // than the warm set it inherited.
+    let c = b.counters();
+    assert!(c.cache_hits > 0, "restored cache must serve hits");
+    assert!(
+        (c.cache_stores as usize) < warm_items,
+        "restored run should mostly reuse ({} stores vs {} inherited)",
+        c.cache_stores,
+        warm_items
+    );
+}
