@@ -76,25 +76,25 @@ fn bench_cache(c: &mut Criterion) {
     let cache = EmbedCache::new(100_000, dim);
     let keys: Vec<u64> = (0..50_000u32).map(|i| pack_key(i, i as f32)).collect();
     let data = Tensor::zeros(50_000, dim);
-    cache.store(&keys, &data, false);
+    cache.store(&keys, &data, false).unwrap();
     let probe: Vec<u64> = (0..8400u32).map(|i| pack_key(i * 7 % 60_000, (i * 7 % 60_000) as f32)).collect();
     g.bench_function("lookup_seq", |b| {
         b.iter(|| {
             let mut out = Tensor::zeros(probe.len(), dim);
-            black_box(cache.lookup(black_box(&probe), &mut out, false))
+            black_box(cache.lookup(black_box(&probe), &mut out, false).unwrap())
         })
     });
     g.bench_function("lookup_par", |b| {
         b.iter(|| {
             let mut out = Tensor::zeros(probe.len(), dim);
-            black_box(cache.lookup(black_box(&probe), &mut out, true))
+            black_box(cache.lookup(black_box(&probe), &mut out, true).unwrap())
         })
     });
     g.bench_function("store_1000", |b| {
         b.iter(|| {
             let cache = EmbedCache::new(10_000, dim);
             let keys: Vec<u64> = (0..1000u32).map(|i| pack_key(i, 0.0)).collect();
-            cache.store(black_box(&keys), &Tensor::zeros(1000, dim), false);
+            cache.store(black_box(&keys), &Tensor::zeros(1000, dim), false).unwrap();
             black_box(cache.len())
         })
     });
@@ -120,7 +120,7 @@ fn bench_timeencode(c: &mut Criterion) {
 
 fn bench_attention(c: &mut Criterion) {
     let cfg = TgatConfig { dim: 100, edge_dim: 100, time_dim: 100, n_layers: 2, n_heads: 2, n_neighbors: 20 };
-    let params = TgatParams::init(cfg, 1);
+    let params = TgatParams::init(cfg, 1).expect("valid model config");
     let n = 200;
     let k = cfg.n_neighbors;
     let mut rng = init::seeded_rng(2);
@@ -202,11 +202,11 @@ fn bench_engine(c: &mut Criterion) {
     };
     let spec = spec_by_name("snap-email").unwrap();
     let ds = {
-        let mut d = generate(&spec, args.scale, args.seed);
+        let mut d = generate(&spec, args.scale, args.seed).expect("valid benchmark spec");
         d.node_features = Tensor::zeros(d.node_features.rows(), args.dim);
         d
     };
-    let params = TgatParams::init(args.model_config(ds.dim()), 1);
+    let params = TgatParams::init(args.model_config(ds.dim()), 1).expect("valid model config");
     let mut g = c.benchmark_group("engine_replay");
     g.sample_size(10);
     g.bench_function("baseline", |b| {

@@ -120,7 +120,7 @@ fn verify(cli: &CliOpts, ds: &tg_datasets::Dataset, params: &tgat::TgatParams) {
     for batch in BatchIter::new(&ds.stream, cli.base.batch_size) {
         let (ns, ts) = batch.targets();
         let hb = base.embed_batch(&ns, &ts);
-        let ho = ours.embed_batch(&ns, &ts);
+        let ho = ours.embed_batch(&ns, &ts).expect("tgopt inference failed");
         worst = worst.max(hb.max_abs_diff(&ho));
         batches += 1;
     }

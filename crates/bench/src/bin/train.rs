@@ -84,7 +84,10 @@ fn main() {
     cli.base.datasets = vec![cli.dataset.clone()];
     let ds = harness::dataset_for(&cli.base, &cli.dataset);
     let cfg = cli.base.model_config(ds.dim());
-    let mut params = tgat::TgatParams::init(cfg, cli.base.seed);
+    let mut params = tgat::TgatParams::init(cfg, cli.base.seed).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!(
         "training TGAT on {} ({} edges, dim {}, {} neighbors, {} epochs, lr {}, dropout {})",
         ds.name,

@@ -114,7 +114,9 @@ pub fn replay(
             let mut prev = eng.counters();
             for batch in BatchIter::new(&dataset.stream, batch_size) {
                 let (ns, ts) = batch.targets();
-                let h = eng.embed_batch(&ns, &ts);
+                let h = eng
+                    .embed_batch(&ns, &ts)
+                    .unwrap_or_else(|e| panic!("tgopt replay failed: {e}"));
                 checksum += h.as_slice().iter().map(|&v| v as f64).sum::<f64>();
                 let now = eng.counters();
                 let delta = now.delta_since(&prev);
@@ -148,7 +150,8 @@ pub fn replay(
 pub fn dataset_for(args: &crate::ExpArgs, name: &str) -> Dataset {
     let spec = tg_datasets::spec_by_name(name)
         .unwrap_or_else(|| panic!("unknown dataset {name}"));
-    let mut ds = tg_datasets::generate(&spec, args.scale, args.seed);
+    let mut ds = tg_datasets::generate(&spec, args.scale, args.seed)
+        .unwrap_or_else(|e| panic!("failed to generate dataset {name}: {e}"));
     ds.node_features = tg_tensor::Tensor::zeros(ds.node_features.rows(), args.dim);
     ds
 }
@@ -159,6 +162,7 @@ pub fn dataset_for(args: &crate::ExpArgs, name: &str) -> Dataset {
 /// random weights; accuracy-sensitive tests train via `tgat::train`.
 pub fn params_for(args: &crate::ExpArgs, dataset: &Dataset) -> TgatParams {
     TgatParams::init(args.model_config(dataset.dim()), args.seed)
+        .unwrap_or_else(|e| panic!("invalid model configuration: {e}"))
 }
 
 /// Mean and sample standard deviation of a series.

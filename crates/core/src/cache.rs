@@ -13,6 +13,7 @@ use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use tg_error::TgError;
 use tg_graph::NodeId;
 use tg_tensor::Tensor;
 
@@ -26,10 +27,10 @@ const NUM_SHARDS: usize = 16;
 ///
 /// let cache = EmbedCache::new(1000, 2);
 /// let keys = [pack_key(7, 3.0)];
-/// cache.store(&keys, &Tensor::from_vec(1, 2, vec![0.5, -0.5]), false);
+/// cache.store(&keys, &Tensor::from_vec(1, 2, vec![0.5, -0.5]), false).unwrap();
 ///
 /// let mut out = Tensor::zeros(2, 2);
-/// let hits = cache.lookup(&[pack_key(7, 3.0), pack_key(8, 3.0)], &mut out, false);
+/// let hits = cache.lookup(&[pack_key(7, 3.0), pack_key(8, 3.0)], &mut out, false).unwrap();
 /// assert_eq!(hits, vec![true, false]);
 /// assert_eq!(out.row(0), &[0.5, -0.5]);
 /// ```
@@ -54,6 +55,9 @@ fn shard_of(key: u64) -> usize {
 
 impl EmbedCache {
     /// A cache holding at most `limit` embeddings of `dim` floats each.
+    ///
+    /// Panics on a zero `limit` or `dim`; use [`EmbedCache::try_new`] to
+    /// surface those as errors instead.
     pub fn new(limit: usize, dim: usize) -> Self {
         assert!(limit > 0, "cache limit must be positive");
         assert!(dim > 0, "embedding dimension must be positive");
@@ -70,12 +74,40 @@ impl EmbedCache {
         }
     }
 
+    /// Like [`EmbedCache::new`] but rejects a zero `limit` or `dim` with a
+    /// typed error instead of panicking; preferred when the capacity comes
+    /// from user configuration or a deserialized snapshot.
+    pub fn try_new(limit: usize, dim: usize) -> Result<Self, TgError> {
+        if limit == 0 {
+            return Err(TgError::InvalidArgument("cache limit must be positive".into()));
+        }
+        if dim == 0 {
+            return Err(TgError::InvalidArgument(
+                "embedding dimension must be positive".into(),
+            ));
+        }
+        Ok(Self::new(limit, dim))
+    }
+
     /// `CacheLookup`: fills rows of `out` for hit keys and returns the hit
-    /// mask. `out` must be `[keys.len(), dim]`; missing rows are untouched
-    /// (the engine fills them after recomputation), avoiding an intermediate
-    /// tensor exactly as §4.2.2 describes.
-    pub fn lookup(&self, keys: &[u64], out: &mut Tensor, parallel: bool) -> Vec<bool> {
-        assert_eq!(out.shape(), (keys.len(), self.dim), "output tensor shape mismatch");
+    /// mask. Missing rows are untouched (the engine fills them after
+    /// recomputation), avoiding an intermediate tensor exactly as §4.2.2
+    /// describes. Errors if `out` is not `[keys.len(), dim]`.
+    ///
+    /// # Invariants
+    ///
+    /// - `out` retains its previous contents in every row whose key missed.
+    /// - The hit/lookup counters grow by exactly `keys.len()` attempted and
+    ///   `mask.count_ones()` hit; no map or FIFO state changes.
+    /// - Sequential and parallel modes produce identical masks and rows.
+    pub fn lookup(&self, keys: &[u64], out: &mut Tensor, parallel: bool) -> Result<Vec<bool>, TgError> {
+        if out.shape() != (keys.len(), self.dim) {
+            return Err(TgError::shape(
+                "EmbedCache::lookup output",
+                format_args!("({}, {})", keys.len(), self.dim),
+                format_args!("{:?}", out.shape()),
+            ));
+        }
         self.lookups.fetch_add(keys.len() as u64, Ordering::Relaxed);
         let dim = self.dim;
         let mut mask = vec![false; keys.len()];
@@ -101,17 +133,31 @@ impl EmbedCache {
         }
         let n_hits = mask.iter().filter(|&&h| h).count() as u64;
         self.hits.fetch_add(n_hits, Ordering::Relaxed);
-        mask
+        Ok(mask)
     }
 
     /// `CacheStore` (Algorithm 3): evicts FIFO-oldest entries if the new
     /// rows would exceed the limit, then inserts row `i` of `h` under
-    /// `keys[i]`. Re-storing an existing key overwrites in place without
-    /// growing the FIFO.
-    pub fn store(&self, keys: &[u64], h: &Tensor, parallel: bool) {
-        assert_eq!(h.shape(), (keys.len(), self.dim), "stored tensor shape mismatch");
+    /// `keys[i]`. Errors if `h` is not `[keys.len(), dim]`.
+    ///
+    /// # Invariants
+    ///
+    /// - `len() <= limit()` holds on return, even under concurrent stores
+    ///   (a corrective eviction runs after the FIFO append).
+    /// - Re-storing an existing key overwrites in place without growing the
+    ///   FIFO, so `len()` only counts distinct live keys.
+    /// - Every key newly inserted by this call is appended to the FIFO
+    ///   exactly once, after all older entries.
+    pub fn store(&self, keys: &[u64], h: &Tensor, parallel: bool) -> Result<(), TgError> {
+        if h.shape() != (keys.len(), self.dim) {
+            return Err(TgError::shape(
+                "EmbedCache::store input",
+                format_args!("({}, {})", keys.len(), self.dim),
+                format_args!("{:?}", h.shape()),
+            ));
+        }
         if keys.is_empty() {
-            return;
+            return Ok(());
         }
         let incoming = keys.len().min(self.limit);
         // If a single store call exceeds the whole limit, keep the newest.
@@ -153,10 +199,16 @@ impl EmbedCache {
             }
             self.finish_store(fresh, keys.len());
         }
+        Ok(())
     }
 
     fn finish_store(&self, fresh: Vec<u64>, attempted: usize) {
         self.stores.fetch_add(attempted as u64, Ordering::Relaxed);
+        debug_assert!(
+            fresh.len() <= attempted,
+            "inserted {} fresh keys out of {attempted} attempted",
+            fresh.len()
+        );
         if fresh.is_empty() {
             return;
         }
@@ -171,6 +223,12 @@ impl EmbedCache {
         if over > 0 {
             self.evict(over);
         }
+        debug_assert!(
+            self.count.load(Ordering::Relaxed) <= self.limit,
+            "cache count {} exceeds limit {} after corrective eviction",
+            self.count.load(Ordering::Relaxed),
+            self.limit
+        );
     }
 
     /// True if `key` is currently cached.
@@ -213,6 +271,13 @@ impl EmbedCache {
     /// Drops every cached embedding of `node` (future-work §7: graph change
     /// events such as node-feature updates or edge deletion invalidate the
     /// node's embeddings). Returns how many entries were removed.
+    ///
+    /// # Invariants
+    ///
+    /// - After return, no key unpacking to `node` is live in any shard.
+    /// - FIFO slots for removed keys go stale rather than being excised;
+    ///   eviction skips them without counting them as live removals.
+    /// - `len()` decreases by exactly the returned count.
     pub fn invalidate_node(&self, node: NodeId) -> usize {
         let mut removed = 0usize;
         for shard in &self.shards {
@@ -229,6 +294,12 @@ impl EmbedCache {
     }
 
     /// Removes everything.
+    ///
+    /// # Invariants
+    ///
+    /// - All shards, the FIFO queue, and the live count reset together, so
+    ///   `len() == 0` and `bytes_used() == 0` on return.
+    /// - Lifetime counters (lookups/hits/stores/evictions) are preserved.
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.write().clear();
@@ -305,6 +376,20 @@ pub struct LayerCaches {
     per_layer: Vec<Option<EmbedCache>>,
 }
 
+impl std::fmt::Debug for LayerCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let layers: Vec<String> = self
+            .per_layer
+            .iter()
+            .map(|c| match c {
+                Some(c) => format!("EmbedCache{{len: {}, dim: {}}}", c.len(), c.dim()),
+                None => "uncached".to_string(),
+            })
+            .collect();
+        f.debug_struct("LayerCaches").field("per_layer", &layers).finish()
+    }
+}
+
 impl LayerCaches {
     /// Caches for layers `1..=top` where `top = n_layers - 1` (or
     /// `n_layers` when `cache_last_layer` is set), sharing `total_limit`
@@ -314,9 +399,14 @@ impl LayerCaches {
         let top = if cache_last_layer { n_layers } else { n_layers - 1 };
         let count = top; // layers 1..=top
         let per = total_limit.checked_div(count).map_or(0, |p| p.max(1));
-        let per_layer = (0..=n_layers)
+        let per_layer: Vec<Option<EmbedCache>> = (0..=n_layers)
             .map(|l| (l >= 1 && l <= top).then(|| EmbedCache::new(per, dim)))
             .collect();
+        debug_assert!(
+            per_layer.iter().flatten().map(|c| c.limit()).sum::<usize>()
+                <= total_limit.max(count),
+            "per-layer budgets must not exceed the total item budget"
+        );
         Self { per_layer }
     }
 
@@ -372,11 +462,20 @@ impl LayerCaches {
     }
 
     /// Invalidates `node` in every layer; returns total removals.
+    ///
+    /// # Invariants
+    ///
+    /// - Applies [`EmbedCache::invalidate_node`] to every cached layer; no
+    ///   layer is skipped, so a node never survives at a deeper layer.
     pub fn invalidate_node(&self, node: NodeId) -> usize {
         self.iter().map(|c| c.invalidate_node(node)).sum()
     }
 
     /// Clears every layer.
+    ///
+    /// # Invariants
+    ///
+    /// - Every cached layer is cleared; `len() == 0` on return.
     pub fn clear(&self) {
         for c in self.iter() {
             c.clear();
@@ -402,10 +501,10 @@ mod tests {
     fn store_then_lookup_roundtrip() {
         let cache = EmbedCache::new(10, 3);
         let keys = [pack_key(1, 1.0), pack_key(2, 1.0)];
-        cache.store(&keys, &row_tensor(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]), false);
+        cache.store(&keys, &row_tensor(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]), false).unwrap();
         let mut out = Tensor::zeros(3, 3);
         let mask =
-            cache.lookup(&[keys[1], pack_key(9, 9.0), keys[0]], &mut out, false);
+            cache.lookup(&[keys[1], pack_key(9, 9.0), keys[0]], &mut out, false).unwrap();
         assert_eq!(mask, vec![true, false, true]);
         assert_eq!(out.row(0), &[4.0, 5.0, 6.0]);
         assert_eq!(out.row(1), &[0.0, 0.0, 0.0]);
@@ -419,13 +518,13 @@ mod tests {
     fn fifo_eviction_keeps_newest() {
         let cache = EmbedCache::new(3, 1);
         for i in 0..5u32 {
-            cache.store(&[pack_key(i, 0.0)], &Tensor::from_vec(1, 1, vec![i as f32]), false);
+            cache.store(&[pack_key(i, 0.0)], &Tensor::from_vec(1, 1, vec![i as f32]), false).unwrap();
         }
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.total_evictions(), 2);
         let mut out = Tensor::zeros(5, 1);
         let keys: Vec<u64> = (0..5u32).map(|i| pack_key(i, 0.0)).collect();
-        let mask = cache.lookup(&keys, &mut out, false);
+        let mask = cache.lookup(&keys, &mut out, false).unwrap();
         assert_eq!(mask, vec![false, false, true, true, true]);
     }
 
@@ -435,7 +534,7 @@ mod tests {
         for batch in 0..20u32 {
             let keys: Vec<u64> = (0..5u32).map(|i| pack_key(batch * 5 + i, 0.0)).collect();
             let h = Tensor::zeros(5, 2);
-            cache.store(&keys, &h, false);
+            cache.store(&keys, &h, false).unwrap();
             assert!(cache.len() <= 7, "len {} exceeds limit", cache.len());
         }
     }
@@ -445,10 +544,10 @@ mod tests {
         let cache = EmbedCache::new(2, 1);
         let keys: Vec<u64> = (0..4u32).map(|i| pack_key(i, 0.0)).collect();
         let h = Tensor::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
-        cache.store(&keys, &h, false);
+        cache.store(&keys, &h, false).unwrap();
         assert_eq!(cache.len(), 2);
         let mut out = Tensor::zeros(4, 1);
-        let mask = cache.lookup(&keys, &mut out, false);
+        let mask = cache.lookup(&keys, &mut out, false).unwrap();
         assert_eq!(mask, vec![false, false, true, true]);
         assert_eq!(out.row(3), &[3.0]);
     }
@@ -457,12 +556,41 @@ mod tests {
     fn duplicate_store_overwrites_without_growth() {
         let cache = EmbedCache::new(5, 1);
         let k = [pack_key(1, 2.0)];
-        cache.store(&k, &Tensor::from_vec(1, 1, vec![1.0]), false);
-        cache.store(&k, &Tensor::from_vec(1, 1, vec![9.0]), false);
+        cache.store(&k, &Tensor::from_vec(1, 1, vec![1.0]), false).unwrap();
+        cache.store(&k, &Tensor::from_vec(1, 1, vec![9.0]), false).unwrap();
         assert_eq!(cache.len(), 1);
         let mut out = Tensor::zeros(1, 1);
-        assert_eq!(cache.lookup(&k, &mut out, false), vec![true]);
+        assert_eq!(cache.lookup(&k, &mut out, false).unwrap(), vec![true]);
         assert_eq!(out.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn algorithm3_restore_accounting_does_not_evict_for_existing_keys() {
+        // DESIGN.md's Algorithm-3 accounting case: the eviction pre-pass
+        // must count only *fresh* keys against the limit — re-storing keys
+        // that are already cached reuses their slots and must not push
+        // anything out.
+        let cache = EmbedCache::new(3, 1);
+        let keys: Vec<u64> = (0..3).map(|n| pack_key(n, 1.0)).collect();
+        cache.store(&keys, &row_tensor(&[&[1.0], &[2.0], &[3.0]]), false).unwrap();
+        assert_eq!(cache.len(), 3);
+
+        // Full-capacity re-store of every key: zero evictions, new values.
+        cache.store(&keys, &row_tensor(&[&[10.0], &[20.0], &[30.0]]), false).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.total_evictions(), 0, "re-store must not evict");
+        let mut out = Tensor::zeros(3, 1);
+        assert_eq!(cache.lookup(&keys, &mut out, false).unwrap(), vec![true; 3]);
+        assert_eq!(out.as_slice(), &[10.0, 20.0, 30.0]);
+
+        // Mixed batch at capacity: two existing keys plus one fresh key
+        // needs exactly one eviction (the FIFO-oldest), not three.
+        let mixed = [keys[1], keys[2], pack_key(9, 9.0)];
+        cache.store(&mixed, &row_tensor(&[&[21.0], &[31.0], &[91.0]]), false).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.total_evictions(), 1, "only the fresh key needs capacity");
+        assert!(!cache.contains(keys[0]), "the FIFO-oldest key makes room");
+        assert!(cache.contains(mixed[2]));
     }
 
     #[test]
@@ -470,12 +598,12 @@ mod tests {
         let cache = EmbedCache::new(2000, 4);
         let keys: Vec<u64> = (0..1000u32).map(|i| pack_key(i, i as f32)).collect();
         let data: Vec<f32> = (0..4000).map(|i| i as f32).collect();
-        cache.store(&keys, &Tensor::from_vec(1000, 4, data), true);
+        cache.store(&keys, &Tensor::from_vec(1000, 4, data), true).unwrap();
         let probe: Vec<u64> = (0..1500u32).map(|i| pack_key(i, i as f32)).collect();
         let mut seq = Tensor::zeros(1500, 4);
         let mut par = Tensor::zeros(1500, 4);
-        let m1 = cache.lookup(&probe, &mut seq, false);
-        let m2 = cache.lookup(&probe, &mut par, true);
+        let m1 = cache.lookup(&probe, &mut seq, false).unwrap();
+        let m2 = cache.lookup(&probe, &mut par, true).unwrap();
         assert_eq!(m1, m2);
         assert_eq!(seq.as_slice(), par.as_slice());
         assert_eq!(m1.iter().filter(|&&h| h).count(), 1000);
@@ -488,7 +616,7 @@ mod tests {
             &[pack_key(1, 1.0), pack_key(1, 2.0), pack_key(2, 1.0)],
             &Tensor::zeros(3, 1),
             false,
-        );
+        ).unwrap();
         assert_eq!(cache.invalidate_node(1), 2);
         assert_eq!(cache.len(), 1);
         let mut out = Tensor::zeros(3, 1);
@@ -496,7 +624,7 @@ mod tests {
             &[pack_key(1, 1.0), pack_key(1, 2.0), pack_key(2, 1.0)],
             &mut out,
             false,
-        );
+        ).unwrap();
         assert_eq!(mask, vec![false, false, true]);
     }
 
@@ -504,16 +632,16 @@ mod tests {
     fn eviction_skips_invalidated_entries() {
         let cache = EmbedCache::new(3, 1);
         for i in 0..3u32 {
-            cache.store(&[pack_key(i, 0.0)], &Tensor::zeros(1, 1), false);
+            cache.store(&[pack_key(i, 0.0)], &Tensor::zeros(1, 1), false).unwrap();
         }
         cache.invalidate_node(0);
         assert_eq!(cache.len(), 2);
         // Storing two more must evict exactly one live entry (key 1) while
         // skipping the stale FIFO slot for key 0.
-        cache.store(&[pack_key(10, 0.0), pack_key(11, 0.0)], &Tensor::zeros(2, 1), false);
+        cache.store(&[pack_key(10, 0.0), pack_key(11, 0.0)], &Tensor::zeros(2, 1), false).unwrap();
         assert!(cache.len() <= 3);
         let mut out = Tensor::zeros(1, 1);
-        assert_eq!(cache.lookup(&[pack_key(11, 0.0)], &mut out, false), vec![true]);
+        assert_eq!(cache.lookup(&[pack_key(11, 0.0)], &mut out, false).unwrap(), vec![true]);
     }
 
     #[test]
@@ -541,12 +669,12 @@ mod tests {
     fn layer_caches_same_key_different_layers_do_not_collide() {
         let lc = LayerCaches::new(2, true, 100, 1);
         let key = [pack_key(5, 3.0)];
-        lc.layer(1).unwrap().store(&key, &Tensor::from_vec(1, 1, vec![1.0]), false);
-        lc.layer(2).unwrap().store(&key, &Tensor::from_vec(1, 1, vec![2.0]), false);
+        lc.layer(1).unwrap().store(&key, &Tensor::from_vec(1, 1, vec![1.0]), false).unwrap();
+        lc.layer(2).unwrap().store(&key, &Tensor::from_vec(1, 1, vec![2.0]), false).unwrap();
         let mut o1 = Tensor::zeros(1, 1);
         let mut o2 = Tensor::zeros(1, 1);
-        assert_eq!(lc.layer(1).unwrap().lookup(&key, &mut o1, false), vec![true]);
-        assert_eq!(lc.layer(2).unwrap().lookup(&key, &mut o2, false), vec![true]);
+        assert_eq!(lc.layer(1).unwrap().lookup(&key, &mut o1, false).unwrap(), vec![true]);
+        assert_eq!(lc.layer(2).unwrap().lookup(&key, &mut o2, false).unwrap(), vec![true]);
         assert_eq!(o1.get(0, 0), 1.0);
         assert_eq!(o2.get(0, 0), 2.0);
         assert_eq!(lc.len(), 2);
@@ -555,10 +683,10 @@ mod tests {
     #[test]
     fn layer_caches_aggregate_invalidation_and_clear() {
         let lc = LayerCaches::new(2, true, 100, 1);
-        lc.layer(1).unwrap().store(&[pack_key(5, 1.0)], &Tensor::zeros(1, 1), false);
-        lc.layer(2).unwrap().store(&[pack_key(5, 2.0)], &Tensor::zeros(1, 1), false);
+        lc.layer(1).unwrap().store(&[pack_key(5, 1.0)], &Tensor::zeros(1, 1), false).unwrap();
+        lc.layer(2).unwrap().store(&[pack_key(5, 2.0)], &Tensor::zeros(1, 1), false).unwrap();
         assert_eq!(lc.invalidate_node(5), 2);
-        lc.layer(1).unwrap().store(&[pack_key(6, 1.0)], &Tensor::zeros(1, 1), false);
+        lc.layer(1).unwrap().store(&[pack_key(6, 1.0)], &Tensor::zeros(1, 1), false).unwrap();
         lc.clear();
         assert!(lc.is_empty());
         assert_eq!(lc.bytes_used(), 0);
@@ -575,7 +703,7 @@ mod tests {
     #[test]
     fn clear_and_bytes_used() {
         let cache = EmbedCache::new(10, 8);
-        cache.store(&[pack_key(1, 1.0)], &Tensor::zeros(1, 8), false);
+        cache.store(&[pack_key(1, 1.0)], &Tensor::zeros(1, 8), false).unwrap();
         assert_eq!(cache.bytes_used(), 32);
         cache.clear();
         assert!(cache.is_empty());

@@ -58,7 +58,7 @@ pub fn dedup_filter(ns: &[NodeId], ts: &[Time]) -> DedupResult {
     let mut inv_idx = Vec::with_capacity(ns.len());
     for (&n, &t) in ns.iter().zip(ts) {
         let key = pack_key(n, t);
-        let next = uniq_ns.len() as u32;
+        let next = uniq_ns.len() as u32; // lint: allow(lossy-cast, dedup index; unique targets per batch fit in u32)
         let idx = *processed.entry(key).or_insert_with(|| {
             uniq_ns.push(n);
             uniq_ts.push(t);
@@ -76,7 +76,7 @@ pub fn dedup_nodes_only(ns: &[NodeId]) -> DedupResult {
     let mut uniq_ns = Vec::new();
     let mut inv_idx = Vec::with_capacity(ns.len());
     for &n in ns {
-        let next = uniq_ns.len() as u32;
+        let next = uniq_ns.len() as u32; // lint: allow(lossy-cast, dedup index; unique targets per batch fit in u32)
         let idx = *processed.entry(n).or_insert_with(|| {
             uniq_ns.push(n);
             next

@@ -10,6 +10,7 @@ use crate::config::{OptConfig, TimeCacheKind};
 use crate::dedup::{dedup_filter, dedup_invert};
 use crate::hash::compute_keys;
 use crate::timecache::{HashTimeCache, TimeCache};
+use tg_error::TgError;
 use tg_graph::{NodeId, SamplingStrategy, TemporalSampler, Time};
 use tg_tensor::{ops, Tensor};
 use tgat::attention::{self, AttentionInputs};
@@ -266,21 +267,30 @@ impl<'a> TgoptEngine<'a> {
     }
 
     /// Computes final-layer temporal embeddings for `(ns[i], ts[i])` targets.
-    /// Drop-in equivalent of `BaselineEngine::embed_batch`.
-    pub fn embed_batch(&mut self, ns: &[NodeId], ts: &[Time]) -> Tensor {
+    /// Drop-in equivalent of `BaselineEngine::embed_batch`, except that
+    /// internal cache shape violations surface as [`TgError`] instead of
+    /// aborting the serving thread.
+    pub fn embed_batch(&mut self, ns: &[NodeId], ts: &[Time]) -> Result<Tensor, TgError> {
+        if ns.len() != ts.len() {
+            return Err(TgError::InvalidArgument(format!(
+                "embed_batch needs one timestamp per node: {} nodes vs {} times",
+                ns.len(),
+                ts.len()
+            )));
+        }
         self.embed(self.params.cfg.n_layers, ns, ts)
     }
 
-    fn embed(&mut self, l: usize, ns: &[NodeId], ts: &[Time]) -> Tensor {
+    fn embed(&mut self, l: usize, ns: &[NodeId], ts: &[Time]) -> Result<Tensor, TgError> {
         debug_assert_eq!(ns.len(), ts.len());
         let cfg = &self.params.cfg;
         if l == 0 {
             // Layer 0 only gathers static features; dedup would cost more
             // than the lookup it saves (§4.1).
-            return self.ctx.gather_node_features(ns);
+            return Ok(self.ctx.gather_node_features(ns));
         }
         if ns.is_empty() {
-            return Tensor::zeros(0, cfg.dim);
+            return Ok(Tensor::zeros(0, cfg.dim));
         }
 
         // §4.1 DedupFilter.
@@ -302,16 +312,16 @@ impl<'a> TgoptEngine<'a> {
         // last layer is skipped unless configured otherwise. Each cached
         // layer has its own table: keys identify a (node, time) target, not
         // a layer.
-        let use_cache = self.memoization_active() && self.caches.layer(l).is_some();
-        let (keys, hit_mask) = if use_cache {
+        let caches = Arc::clone(&self.caches);
+        let cache_l = if self.memoization_active() { caches.layer(l) } else { None };
+        let (keys, hit_mask) = if let Some(cache) = cache_l {
             let parallel = self.opt.parallel_lookup;
             let keys = self
                 .stats
                 .time(OpKind::ComputeKeys, || compute_keys(uns, uts, parallel));
-            let cache = self.caches.layer(l).expect("checked above");
             let hit_mask = self
                 .stats
-                .time(OpKind::CacheLookup, || cache.lookup(&keys, &mut h, parallel));
+                .time(OpKind::CacheLookup, || cache.lookup(&keys, &mut h, parallel))?;
             self.counters.cache_lookups += n_uniq as u64;
             self.counters.cache_hits += hit_mask.iter().filter(|&&m| m).count() as u64;
             (keys, hit_mask)
@@ -332,7 +342,7 @@ impl<'a> TgoptEngine<'a> {
             all_ns.extend_from_slice(&nb.nodes);
             let mut all_ts = m_ts.clone();
             all_ts.extend_from_slice(&nb.times);
-            let h_prev = self.embed(l - 1, &all_ns, &all_ts);
+            let h_prev = self.embed(l - 1, &all_ns, &all_ts)?;
             let (h_src, h_ngh) = ops::split_rows(&h_prev, m_ns.len());
 
             // §4.3 precomputed time encodings.
@@ -371,12 +381,11 @@ impl<'a> TgoptEngine<'a> {
                 )
             });
 
-            if use_cache {
+            if let Some(cache) = cache_l {
                 let miss_keys: Vec<u64> = miss_idx.iter().map(|&i| keys[i]).collect();
-                let cache = self.caches.layer(l).expect("checked above");
                 let parallel = self.opt.parallel_store;
                 self.stats
-                    .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel));
+                    .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel))?;
                 self.counters.cache_stores += miss_keys.len() as u64;
             }
             self.counters.recomputed += miss_idx.len() as u64;
@@ -389,10 +398,10 @@ impl<'a> TgoptEngine<'a> {
         }
 
         // §4.1 DedupInvert: expand back to the original batch layout.
-        match &dedup {
+        Ok(match &dedup {
             Some(r) => self.stats.time(OpKind::DedupInvert, || dedup_invert(&h, &r.inv_idx)),
             None => h,
-        }
+        })
     }
 }
 
@@ -422,7 +431,7 @@ mod tests {
 
     fn assert_matches_baseline(opt: OptConfig) {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 7);
+        let params = TgatParams::init(cfg, 7).unwrap();
         let (graph, nf, ef) = world(cfg, 12, 80);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut base = BaselineEngine::new(&params, ctx);
@@ -433,7 +442,7 @@ mod tests {
             let ns: Vec<NodeId> = vec![0, 1, 2, 0, 1, 5, 0];
             let ts: Vec<Time> = vec![t, t, t + 1.0, t, t, t, t];
             let hb = base.embed_batch(&ns, &ts);
-            let ho = tgopt.embed_batch(&ns, &ts);
+            let ho = tgopt.embed_batch(&ns, &ts).unwrap();
             let diff = hb.max_abs_diff(&ho);
             assert!(diff < 1e-4, "round {round}: max diff {diff} vs baseline ({opt:?})");
         }
@@ -476,11 +485,11 @@ mod tests {
     #[test]
     fn time_cache_stats_accumulate() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 7);
+        let params = TgatParams::init(cfg, 7).unwrap();
         let (graph, nf, ef) = world(cfg, 12, 80);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
-        let _ = eng.embed_batch(&[0, 1], &[50.0, 51.0]);
+        let _ = eng.embed_batch(&[0, 1], &[50.0, 51.0]).unwrap();
         let (h, m) = eng.time_cache_stats();
         assert!(h + m > 0, "time encoder must have been exercised");
         assert!(eng.time_cache_hit_rate() >= 0.0);
@@ -489,15 +498,15 @@ mod tests {
     #[test]
     fn repeated_batches_hit_the_cache() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 7);
+        let params = TgatParams::init(cfg, 7).unwrap();
         let (graph, nf, ef) = world(cfg, 12, 80);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
         let ns: Vec<NodeId> = vec![0, 1, 2, 3];
         let ts: Vec<Time> = vec![50.0; 4];
-        let h1 = eng.embed_batch(&ns, &ts);
+        let h1 = eng.embed_batch(&ns, &ts).unwrap();
         let before = eng.counters();
-        let h2 = eng.embed_batch(&ns, &ts);
+        let h2 = eng.embed_batch(&ns, &ts).unwrap();
         let delta = eng.counters().delta_since(&before);
         assert_eq!(h1.max_abs_diff(&h2), 0.0, "cached results must be bit-identical");
         assert!(delta.cache_hits > 0, "second pass should reuse: {delta:?}");
@@ -511,13 +520,13 @@ mod tests {
     #[test]
     fn uniform_sampling_bypasses_cache() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 7);
+        let params = TgatParams::init(cfg, 7).unwrap();
         let (graph, nf, ef) = world(cfg, 12, 80);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let sampler = TemporalSampler::new(cfg.n_neighbors, SamplingStrategy::Uniform { seed: 3 });
         let mut eng = TgoptEngine::with_sampler(&params, ctx, OptConfig::all(), sampler);
         assert!(!eng.memoization_active());
-        let _ = eng.embed_batch(&[0, 1], &[50.0, 50.0]);
+        let _ = eng.embed_batch(&[0, 1], &[50.0, 50.0]).unwrap();
         let c = eng.counters();
         assert_eq!(c.cache_lookups, 0);
         assert_eq!(c.cache_stores, 0);
@@ -528,11 +537,11 @@ mod tests {
     #[test]
     fn counters_track_dedup_and_recompute() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 7);
+        let params = TgatParams::init(cfg, 7).unwrap();
         let (graph, nf, ef) = world(cfg, 12, 80);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
-        let _ = eng.embed_batch(&[4, 4, 4], &[60.0, 60.0, 60.0]);
+        let _ = eng.embed_batch(&[4, 4, 4], &[60.0, 60.0, 60.0]).unwrap();
         let c = eng.counters();
         assert!(c.dedup_removed >= 2, "three identical targets leave two duplicates");
         assert!(c.recomputed > 0);
@@ -542,17 +551,17 @@ mod tests {
     #[test]
     fn invalidation_forces_recompute() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 7);
+        let params = TgatParams::init(cfg, 7).unwrap();
         let (graph, nf, ef) = world(cfg, 12, 80);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
-        let _ = eng.embed_batch(&[0], &[50.0]);
+        let _ = eng.embed_batch(&[0], &[50.0]).unwrap();
         let cached = eng.cache().len();
         assert!(cached > 0);
         let removed: usize = (0..12).map(|n| eng.invalidate_node(n)).sum();
         assert_eq!(removed, cached);
         let before = eng.counters();
-        let _ = eng.embed_batch(&[0], &[50.0]);
+        let _ = eng.embed_batch(&[0], &[50.0]).unwrap();
         let delta = eng.counters().delta_since(&before);
         assert_eq!(delta.cache_hits, 0, "invalidation must clear reuse");
     }
@@ -560,12 +569,12 @@ mod tests {
     #[test]
     fn stats_cover_tgopt_specific_ops() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 7);
+        let params = TgatParams::init(cfg, 7).unwrap();
         let (graph, nf, ef) = world(cfg, 12, 80);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
         eng.enable_stats();
-        let _ = eng.embed_batch(&[0, 1, 0], &[50.0, 50.0, 50.0]);
+        let _ = eng.embed_batch(&[0, 1, 0], &[50.0, 50.0, 50.0]).unwrap();
         let s = eng.stats();
         assert!(s.count(OpKind::DedupFilter) > 0);
         assert!(s.count(OpKind::DedupInvert) > 0);

@@ -31,7 +31,7 @@ pub fn pack_key(node: NodeId, t: Time) -> u64 {
 /// and tests).
 #[inline]
 pub fn unpack_key(key: u64) -> (NodeId, Time) {
-    ((key >> 32) as NodeId, Time::from_bits(key as u32))
+    ((key >> 32) as NodeId, Time::from_bits(key as u32)) // lint: allow(lossy-cast, intentional unpack of the low 32 key bits)
 }
 
 /// Batched key computation (the `ComputeKeys` operation of Algorithm 1).

@@ -15,14 +15,15 @@
 
 use crate::cache::{EmbedCache, LayerCaches};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::io::{Error, ErrorKind, Read, Result, Write};
+use std::io::{Read, Write};
 use std::path::Path;
+use tg_error::TgError;
 
 const MAGIC: &[u8; 4] = b"TGOC";
 const VERSION: u32 = 1;
 
-fn bad(msg: impl Into<String>) -> Error {
-    Error::new(ErrorKind::InvalidData, msg.into())
+fn bad(msg: impl Into<String>) -> TgError {
+    TgError::snapshot(msg)
 }
 
 /// Serializes the caches into a byte buffer.
@@ -31,14 +32,14 @@ pub fn to_bytes(caches: &LayerCaches) -> Bytes {
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     let n_layers = caches.num_layers();
-    buf.put_u32_le(n_layers as u32);
+    buf.put_u32_le(n_layers as u32); // lint: allow(lossy-cast, layer counts are tiny)
     for l in 0..=n_layers {
         match caches.layer(l) {
             None => buf.put_u8(0),
             Some(cache) => {
                 buf.put_u8(1);
                 buf.put_u64_le(cache.limit() as u64);
-                buf.put_u32_le(cache.dim() as u32);
+                buf.put_u32_le(cache.dim() as u32); // lint: allow(lossy-cast, dims are far below 2^32)
                 let entries = cache.export_fifo_order();
                 buf.put_u64_le(entries.len() as u64);
                 for (key, row) in entries {
@@ -54,13 +55,21 @@ pub fn to_bytes(caches: &LayerCaches) -> Bytes {
 }
 
 /// Reconstructs caches from [`to_bytes`] output.
-pub fn from_bytes(mut data: Bytes) -> Result<LayerCaches> {
-    let need = |data: &Bytes, n: usize| -> Result<()> {
+///
+/// Any malformed input — bad magic, unsupported version, an inconsistent
+/// header, or truncation at *any* byte offset — yields
+/// [`TgError::SnapshotCorrupt`]; this function never panics on untrusted
+/// bytes.
+pub fn from_bytes(mut data: Bytes) -> Result<LayerCaches, TgError> {
+    let need = |data: &Bytes, n: usize| -> Result<(), TgError> {
         if data.remaining() < n {
             Err(bad("truncated cache snapshot"))
         } else {
             Ok(())
         }
+    };
+    let to_usize = |v: u64, what: &str| -> Result<usize, TgError> {
+        usize::try_from(v).map_err(|_| bad(format!("{what} {v} overflows usize")))
     };
     need(&data, 4 + 4 + 4)?;
     let mut magic = [0u8; 4];
@@ -72,7 +81,7 @@ pub fn from_bytes(mut data: Bytes) -> Result<LayerCaches> {
     if version != VERSION {
         return Err(bad(format!("unsupported snapshot version {version}")));
     }
-    let n_layers = data.get_u32_le() as usize;
+    let n_layers = data.get_u32_le() as usize; // lint: allow(lossy-cast, u32 always fits in usize here)
     if n_layers > 64 {
         return Err(bad("implausible layer count"));
     }
@@ -84,13 +93,13 @@ pub fn from_bytes(mut data: Bytes) -> Result<LayerCaches> {
             continue;
         }
         need(&data, 8 + 4 + 8)?;
-        let limit = data.get_u64_le() as usize;
-        let dim = data.get_u32_le() as usize;
-        let count = data.get_u64_le() as usize;
+        let limit = to_usize(data.get_u64_le(), "cache limit")?;
+        let dim = data.get_u32_le() as usize; // lint: allow(lossy-cast, u32 always fits in usize here)
+        let count = to_usize(data.get_u64_le(), "entry count")?;
         if limit == 0 || dim == 0 || count > limit {
             return Err(bad("inconsistent snapshot header"));
         }
-        let cache = EmbedCache::new(limit, dim);
+        let cache = EmbedCache::try_new(limit, dim)?;
         let mut row = vec![0.0f32; dim];
         for _ in 0..count {
             need(&data, 8 + 4 * dim)?;
@@ -98,7 +107,7 @@ pub fn from_bytes(mut data: Bytes) -> Result<LayerCaches> {
             for v in row.iter_mut() {
                 *v = data.get_f32_le();
             }
-            cache.store(&[key], &tg_tensor::Tensor::from_vec(1, dim, row.clone()), false);
+            cache.store(&[key], &tg_tensor::Tensor::from_vec(1, dim, row.clone()), false)?;
         }
         per_layer.push(Some(cache));
     }
@@ -106,15 +115,19 @@ pub fn from_bytes(mut data: Bytes) -> Result<LayerCaches> {
 }
 
 /// Writes a snapshot to `path`.
-pub fn save(caches: &LayerCaches, path: &Path) -> Result<()> {
+pub fn save(caches: &LayerCaches, path: &Path) -> Result<(), TgError> {
     let bytes = to_bytes(caches);
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     f.write_all(&bytes)?;
-    f.flush()
+    f.flush()?;
+    Ok(())
 }
 
 /// Reads a snapshot from `path`.
-pub fn load(path: &Path) -> Result<LayerCaches> {
+///
+/// I/O failures surface as [`TgError::Io`]; malformed content as
+/// [`TgError::SnapshotCorrupt`].
+pub fn load(path: &Path) -> Result<LayerCaches, TgError> {
     let mut f = std::fs::File::open(path)?;
     let mut data = Vec::new();
     f.read_to_end(&mut data)?;
@@ -136,7 +149,8 @@ mod tests {
                     &[pack_key(i, l as f32)],
                     &Tensor::from_vec(1, 2, vec![i as f32, l as f32]),
                     false,
-                );
+                )
+                .unwrap();
             }
         }
         lc
@@ -153,7 +167,7 @@ mod tests {
             let c = restored.layer(l).unwrap();
             for i in 0..5u32 {
                 let mut out = Tensor::zeros(1, 2);
-                assert_eq!(c.lookup(&[pack_key(i, l as f32)], &mut out, false), vec![true]);
+                assert_eq!(c.lookup(&[pack_key(i, l as f32)], &mut out, false).unwrap(), vec![true]);
                 assert_eq!(out.as_slice(), &[i as f32, l as f32]);
             }
         }
@@ -165,15 +179,15 @@ mod tests {
         let lc = LayerCaches::new(2, false, 3, 1);
         let c = lc.layer(1).unwrap();
         for i in 0..3u32 {
-            c.store(&[pack_key(i, 0.0)], &Tensor::from_vec(1, 1, vec![i as f32]), false);
+            c.store(&[pack_key(i, 0.0)], &Tensor::from_vec(1, 1, vec![i as f32]), false).unwrap();
         }
         let restored = from_bytes(to_bytes(&lc)).unwrap();
         let rc = restored.layer(1).unwrap();
         // Inserting one more must evict key 0 (the oldest), not key 2.
-        rc.store(&[pack_key(9, 0.0)], &Tensor::zeros(1, 1), false);
+        rc.store(&[pack_key(9, 0.0)], &Tensor::zeros(1, 1), false).unwrap();
         let mut out = Tensor::zeros(1, 1);
-        assert_eq!(rc.lookup(&[pack_key(0, 0.0)], &mut out, false), vec![false]);
-        assert_eq!(rc.lookup(&[pack_key(2, 0.0)], &mut out, false), vec![true]);
+        assert_eq!(rc.lookup(&[pack_key(0, 0.0)], &mut out, false).unwrap(), vec![false]);
+        assert_eq!(rc.lookup(&[pack_key(2, 0.0)], &mut out, false).unwrap(), vec![true]);
     }
 
     #[test]
@@ -188,14 +202,21 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(from_bytes(Bytes::from_static(b"")).is_err());
-        assert!(from_bytes(Bytes::from_static(b"NOPExxxxxxxxxxxxx")).is_err());
+        let corrupt = |b: Bytes| {
+            let err = from_bytes(b).unwrap_err();
+            assert!(
+                matches!(err, TgError::SnapshotCorrupt { .. }),
+                "expected SnapshotCorrupt, got: {err}"
+            );
+        };
+        corrupt(Bytes::from_static(b""));
+        corrupt(Bytes::from_static(b"NOPExxxxxxxxxxxxx"));
         // Valid magic, wrong version.
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u32_le(999);
         buf.put_u32_le(2);
-        assert!(from_bytes(buf.freeze()).is_err());
+        corrupt(buf.freeze());
         // Truncated after a valid header.
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
@@ -205,6 +226,30 @@ mod tests {
         buf.put_u64_le(10);
         buf.put_u32_le(4);
         buf.put_u64_le(3); // claims 3 entries, provides none
-        assert!(from_bytes(buf.freeze()).is_err());
+        corrupt(buf.freeze());
+    }
+
+    #[test]
+    fn truncation_at_every_length_errors_never_panics() {
+        // Round-trip fuzz: a valid snapshot cut at *every* possible byte
+        // boundary must produce a typed SnapshotCorrupt — never a panic and
+        // never a silently-short cache.
+        let full: Vec<u8> = to_bytes(&populated()).as_ref().to_vec();
+        for n in 0..full.len() {
+            let err = from_bytes(Bytes::from(full[..n].to_vec())).unwrap_err();
+            assert!(
+                matches!(err, TgError::SnapshotCorrupt { .. }),
+                "cut at {n}/{} bytes: expected SnapshotCorrupt, got: {err}",
+                full.len()
+            );
+        }
+        // The uncut buffer still parses.
+        assert_eq!(from_bytes(Bytes::from(full)).unwrap().len(), populated().len());
+    }
+
+    #[test]
+    fn missing_snapshot_file_is_io_not_corrupt() {
+        let err = load(Path::new("/nonexistent/tgopt-cache.bin")).unwrap_err();
+        assert!(matches!(err, TgError::Io(_)), "expected Io, got: {err}");
     }
 }

@@ -38,7 +38,7 @@ impl TimeCache {
     /// Precomputes `Phi(dt)` for `dt` in `0..window` (paper default 10,000).
     pub fn precompute(encoder: &TimeEncoder, window: usize) -> Self {
         assert!(window > 0, "time window must be positive");
-        let dts: Vec<f32> = (0..window).map(|i| i as f32).collect();
+        let dts: Vec<f32> = (0..window).map(|i| i as f32).collect(); // lint: allow(lossy-cast, window deltas stay far below 2^24, exact in f32)
         let table = encoder.encode(&dts);
         let zero_row = table.row(0).to_vec();
         Self { table, zero_row, hits: 0, misses: 0 }
@@ -56,6 +56,13 @@ impl TimeCache {
 
     /// Encodes a batch of deltas, copying precomputed rows on hits and
     /// falling back to `encoder` for the misses (computed as one batch).
+    ///
+    /// # Invariants
+    ///
+    /// - The table and the `Phi(0)` row are immutable after
+    ///   [`TimeCache::precompute`]; only the hit/miss counters change.
+    /// - `hits() + misses()` grows by exactly `dts.len()`.
+    /// - Every output row is bit-identical to `encoder.encode` of its delta.
     pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
         let d = self.dim();
         let window = self.window();
@@ -63,7 +70,7 @@ impl TimeCache {
         let mut miss_rows: Vec<usize> = Vec::new();
         let mut miss_dts: Vec<f32> = Vec::new();
         for (r, &dt) in dts.iter().enumerate() {
-            let idx = dt as usize;
+            let idx = dt as usize; // lint: allow(lossy-cast, used only when dt is a non-negative integer below window)
             // Hit iff dt is a non-negative integer inside the window.
             if dt >= 0.0 && dt.fract() == 0.0 && idx < window {
                 out.row_mut(r).copy_from_slice(self.table.row(idx));
@@ -170,6 +177,14 @@ impl HashTimeCache {
     /// Encodes a batch of deltas, memoizing newly seen values. Repeats
     /// *within* one batch are deduplicated too: each distinct missing delta
     /// is computed once.
+    ///
+    /// # Invariants
+    ///
+    /// - `len() <= limit` holds on return; at the limit, new deltas are
+    ///   still computed for the output but no longer memoized.
+    /// - A memoized row is never overwritten — repeats of a delta serve the
+    ///   originally computed bits.
+    /// - `hits() + misses()` grows by exactly `dts.len()`.
     pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
         let d = encoder.dim();
         let mut out = Tensor::zeros(dts.len(), d);

@@ -76,7 +76,7 @@ mod tests {
     #[test]
     fn deduped_forward_matches_vanilla_forward() {
         let (stream, nf, ef, cfg) = world();
-        let params = TgatParams::init(cfg, 4);
+        let params = TgatParams::init(cfg, 4).unwrap();
         let graph = TemporalGraph::from_stream(&stream);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         // Heavy duplication in the query batch.
@@ -95,10 +95,10 @@ mod tests {
         let (stream, nf, ef, cfg) = world();
         let tc = TrainConfig { epochs: 2, batch_size: 40, lr: 5e-3, train_frac: 0.8, seed: 1, dropout: 0.0 };
 
-        let mut plain = TgatParams::init(cfg, 4);
+        let mut plain = TgatParams::init(cfg, 4).unwrap();
         let report_plain = tgat::train::train(&mut plain, &stream, &nf, &ef, &tc);
 
-        let mut deduped = TgatParams::init(cfg, 4);
+        let mut deduped = TgatParams::init(cfg, 4).unwrap();
         let report_deduped = train_deduped(&mut deduped, &stream, &nf, &ef, &tc);
 
         // Losses agree closely (floating-point summation order differs).

@@ -3,6 +3,7 @@
 use crate::spec::{DatasetSpec, GraphKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tg_error::TgError;
 use tg_graph::{EdgeStream, NodeId, Time};
 use tg_tensor::Tensor;
 
@@ -86,9 +87,13 @@ fn session_gap(rng: &mut StdRng) -> f64 {
 /// neighbor sharing) matches the original. Timestamps keep the original
 /// event-rate (so `max(t)` scales with the edge count). Everything is
 /// deterministic in `seed`.
-pub fn generate(spec: &DatasetSpec, scale: f64, seed: u64) -> Dataset {
-    assert!(scale > 0.0, "scale must be positive");
-    let n_edges = ((spec.num_edges as f64 * scale).round() as usize).max(1);
+pub fn generate(spec: &DatasetSpec, scale: f64, seed: u64) -> Result<Dataset, TgError> {
+    if !(scale > 0.0) {
+        return Err(TgError::InvalidArgument(format!(
+            "dataset scale must be positive, got {scale}"
+        )));
+    }
+    let n_edges = ((spec.num_edges as f64 * scale).round() as usize).max(1); // lint: allow(lossy-cast, rounded edge count is far below 2^52)
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hash_name(spec.name));
     let mean_gap = spec.max_time as f64 / spec.num_edges as f64;
 
@@ -185,13 +190,13 @@ pub fn generate(spec: &DatasetSpec, scale: f64, seed: u64) -> Dataset {
     let num_nodes = spec.num_nodes();
     let node_features = Tensor::zeros(num_nodes, dim);
 
-    Dataset {
+    Ok(Dataset {
         name: spec.name.to_string(),
         spec: *spec,
         stream: EdgeStream::new(&srcs, &dsts, &times),
         edge_features,
         node_features,
-    }
+    })
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -208,8 +213,8 @@ mod tests {
     #[test]
     fn generate_is_deterministic() {
         let spec = spec_by_name("snap-msg").unwrap();
-        let a = generate(&spec, 0.05, 7);
-        let b = generate(&spec, 0.05, 7);
+        let a = generate(&spec, 0.05, 7).unwrap();
+        let b = generate(&spec, 0.05, 7).unwrap();
         assert_eq!(a.stream.edges(), b.stream.edges());
         assert_eq!(a.edge_features.as_slice(), b.edge_features.as_slice());
     }
@@ -217,15 +222,15 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let spec = spec_by_name("snap-msg").unwrap();
-        let a = generate(&spec, 0.05, 7);
-        let b = generate(&spec, 0.05, 8);
+        let a = generate(&spec, 0.05, 7).unwrap();
+        let b = generate(&spec, 0.05, 8).unwrap();
         assert_ne!(a.stream.edges(), b.stream.edges());
     }
 
     #[test]
     fn scale_controls_edge_count() {
         let spec = spec_by_name("jodie-wiki").unwrap();
-        let d = generate(&spec, 0.01, 1);
+        let d = generate(&spec, 0.01, 1).unwrap();
         let expected = (spec.num_edges as f64 * 0.01).round() as usize;
         assert_eq!(d.stream.len(), expected);
         assert_eq!(d.edge_features.rows(), expected);
@@ -235,7 +240,7 @@ mod tests {
     #[test]
     fn bipartite_edges_cross_the_partition() {
         let spec = spec_by_name("jodie-mooc").unwrap();
-        let d = generate(&spec, 0.005, 3);
+        let d = generate(&spec, 0.005, 3).unwrap();
         let GraphKind::Bipartite { users, .. } = spec.kind else { panic!() };
         for e in d.stream.edges() {
             assert!((e.src as usize) < users, "source must be a user");
@@ -246,14 +251,14 @@ mod tests {
     #[test]
     fn homogeneous_has_no_self_loops() {
         let spec = spec_by_name("snap-email").unwrap();
-        let d = generate(&spec, 0.01, 5);
+        let d = generate(&spec, 0.01, 5).unwrap();
         assert!(d.stream.edges().iter().all(|e| e.src != e.dst));
     }
 
     #[test]
     fn timestamps_are_integral_and_nondecreasing() {
         let spec = spec_by_name("snap-msg").unwrap();
-        let d = generate(&spec, 0.05, 2);
+        let d = generate(&spec, 0.05, 2).unwrap();
         let edges = d.stream.edges();
         for w in edges.windows(2) {
             assert!(w[0].time <= w[1].time);
@@ -264,7 +269,7 @@ mod tests {
     #[test]
     fn node_features_are_zero_with_edge_dim() {
         let spec = spec_by_name("jodie-reddit").unwrap();
-        let d = generate(&spec, 0.001, 1);
+        let d = generate(&spec, 0.001, 1).unwrap();
         assert_eq!(d.dim(), 172);
         assert_eq!(d.node_features.cols(), 172);
         assert!(d.node_features.as_slice().iter().all(|&v| v == 0.0));
@@ -274,7 +279,7 @@ mod tests {
     fn repeat_behavior_creates_consecutive_repeats() {
         // jodie-style graphs must show users re-hitting their previous item.
         let spec = spec_by_name("jodie-lastfm").unwrap();
-        let d = generate(&spec, 0.01, 11);
+        let d = generate(&spec, 0.01, 11).unwrap();
         let mut last: std::collections::HashMap<NodeId, NodeId> = Default::default();
         let mut repeats = 0usize;
         let mut total = 0usize;
@@ -292,9 +297,18 @@ mod tests {
     }
 
     #[test]
+    fn non_positive_scale_is_rejected() {
+        let spec = spec_by_name("snap-msg").unwrap();
+        for bad in [0.0, -1.0, f64::NAN] {
+            let err = generate(&spec, bad, 1).unwrap_err();
+            assert!(matches!(err, TgError::InvalidArgument(_)), "scale {bad}: {err}");
+        }
+    }
+
+    #[test]
     fn all_specs_generate_tiny() {
         for spec in all_specs() {
-            let d = generate(&spec, 0.0005, 1);
+            let d = generate(&spec, 0.0005, 1).unwrap();
             assert!(!d.stream.is_empty());
             assert!(d.stream.num_nodes() <= spec.num_nodes());
         }

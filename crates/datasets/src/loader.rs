@@ -11,51 +11,55 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::BufRead;
 use std::path::Path;
+use tg_error::TgError;
 use tg_graph::{EdgeStream, NodeId, Time};
 use tg_tensor::Tensor;
+
+/// Parses one numeric CSV field, reporting its file/line/field position on
+/// failure so users can locate bad records in multi-million-row inputs.
+fn parse_field(
+    raw: Option<&str>,
+    path: &Path,
+    lineno: usize,
+    field: &str,
+) -> Result<f64, TgError> {
+    let file = path.display().to_string();
+    match raw {
+        None => Err(TgError::parse(file, lineno, field, "field is missing")),
+        Some(text) => text.parse::<f64>().map_err(|_| {
+            TgError::parse(file, lineno, field, format!("not a number: {text:?}"))
+        }),
+    }
+}
 
 /// Parses a `ml_{name}.csv` file into a [`Dataset`].
 ///
 /// Rows must be time-sorted (the artifact's preprocessing guarantees this).
-/// Lines that fail to parse are reported as errors, not skipped.
-pub fn load_csv(path: &Path, name: &str, edge_dim: usize, seed: u64) -> std::io::Result<Dataset> {
+/// Lines that fail to parse are reported as [`TgError::Parse`] errors
+/// carrying the file, 1-based line number, and field name — never skipped.
+pub fn load_csv(path: &Path, name: &str, edge_dim: usize, seed: u64) -> Result<Dataset, TgError> {
     let file = std::fs::File::open(path)?;
     let reader = std::io::BufReader::new(file);
     let mut srcs: Vec<NodeId> = Vec::new();
     let mut dsts: Vec<NodeId> = Vec::new();
     let mut times: Vec<Time> = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
+    for (idx, line) in reader.lines().enumerate() {
         let line = line?;
+        let lineno = idx + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
         // Skip a header row if present.
-        if lineno == 0 && trimmed.chars().next().is_some_and(|c| c.is_alphabetic()) {
+        if idx == 0 && trimmed.chars().next().is_some_and(|c| c.is_alphabetic()) {
             continue;
         }
         let mut fields = trimmed.split(',').map(str::trim);
-        let parse_err = |what: &str| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("line {}: missing/invalid {what}: {trimmed}", lineno + 1),
-            )
-        };
-        let u: NodeId = fields
-            .next()
-            .and_then(|f| f.parse::<f64>().ok())
-            .map(|v| v as NodeId)
-            .ok_or_else(|| parse_err("user"))?;
-        let i: NodeId = fields
-            .next()
-            .and_then(|f| f.parse::<f64>().ok())
-            .map(|v| v as NodeId)
-            .ok_or_else(|| parse_err("item"))?;
-        let t: Time = fields
-            .next()
-            .and_then(|f| f.parse::<f64>().ok())
-            .map(|v| v as Time)
-            .ok_or_else(|| parse_err("timestamp"))?;
+        // The artifact writes node ids as floats ("3.0"); truncation back to
+        // an integer id is the intended decode, not data loss.
+        let u = parse_field(fields.next(), path, lineno, "user")? as NodeId; // lint: allow(lossy-cast, artifact stores integer ids as floats)
+        let i = parse_field(fields.next(), path, lineno, "item")? as NodeId; // lint: allow(lossy-cast, artifact stores integer ids as floats)
+        let t = parse_field(fields.next(), path, lineno, "timestamp")? as Time; // lint: allow(lossy-cast, times are f32 end-to-end; f64 only for parsing)
         srcs.push(u);
         dsts.push(i);
         times.push(t);
@@ -119,15 +123,34 @@ mod tests {
     }
 
     #[test]
-    fn invalid_row_is_an_error() {
-        let p = write_temp("0,1\n");
+    fn truncated_row_reports_file_line_and_field() {
+        let p = write_temp("0,1,5,0,0\n0,1\n");
         let err = load_csv(&p, "test", 4, 1).unwrap_err();
         std::fs::remove_file(&p).ok();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        match err {
+            TgError::Parse { ref file, line, ref field, .. } => {
+                assert!(file.ends_with(".csv"), "unexpected file: {file}");
+                assert_eq!(line, 2);
+                assert_eq!(field, "timestamp");
+            }
+            other => panic!("expected Parse error, got: {other}"),
+        }
     }
 
     #[test]
-    fn missing_file_is_an_error() {
-        assert!(load_csv(Path::new("/nonexistent/x.csv"), "x", 4, 1).is_err());
+    fn non_numeric_field_reports_its_name_and_content() {
+        let p = write_temp("0,abc,5,0,0\n");
+        let err = load_csv(&p, "test", 4, 1).unwrap_err();
+        std::fs::remove_file(&p).ok();
+        let msg = err.to_string();
+        assert!(msg.contains(":1:"), "missing line number: {msg}");
+        assert!(msg.contains("item"), "missing field name: {msg}");
+        assert!(msg.contains("abc"), "missing offending content: {msg}");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_csv(Path::new("/nonexistent/x.csv"), "x", 4, 1).unwrap_err();
+        assert!(matches!(err, TgError::Io(_)));
     }
 }

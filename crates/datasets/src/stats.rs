@@ -42,7 +42,7 @@ mod tests {
     #[test]
     fn stats_count_active_nodes_and_edges() {
         let spec = spec_by_name("snap-msg").unwrap();
-        let d = generate(&spec, 0.1, 1);
+        let d = generate(&spec, 0.1, 1).unwrap();
         let s = dataset_stats(&d);
         assert_eq!(s.num_edges, d.stream.len());
         assert!(s.num_nodes <= spec.num_nodes());

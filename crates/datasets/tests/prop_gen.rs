@@ -15,7 +15,7 @@ proptest! {
     ) {
         let spec = all_specs()[spec_idx];
         let scale = scale_millis as f64 / 1000.0;
-        let ds = generate(&spec, scale, seed);
+        let ds = generate(&spec, scale, seed).unwrap();
 
         // Edge count honors the scale; ids stay in range.
         let expected = ((spec.num_edges as f64 * scale).round() as usize).max(1);
@@ -66,11 +66,11 @@ proptest! {
         seed in 0u64..25,
     ) {
         let spec = all_specs()[spec_idx];
-        let a = generate(&spec, 0.002, seed);
-        let b = generate(&spec, 0.002, seed);
+        let a = generate(&spec, 0.002, seed).unwrap();
+        let b = generate(&spec, 0.002, seed).unwrap();
         prop_assert_eq!(a.stream.edges(), b.stream.edges());
         prop_assert_eq!(a.edge_features.as_slice(), b.edge_features.as_slice());
-        let c = generate(&spec, 0.002, seed + 1000);
+        let c = generate(&spec, 0.002, seed + 1000).unwrap();
         prop_assert_ne!(a.stream.edges(), c.stream.edges());
     }
 
@@ -79,8 +79,8 @@ proptest! {
         // The generator keeps the original inter-event rate, so max(t)
         // should scale roughly linearly with |E| (burstiness adds noise).
         let spec = all_specs()[spec_idx];
-        let small = generate(&spec, 0.002, seed);
-        let large = generate(&spec, 0.02, seed);
+        let small = generate(&spec, 0.002, seed).unwrap();
+        let large = generate(&spec, 0.02, seed).unwrap();
         let rate_small = small.stream.max_time() as f64 / small.stream.len() as f64;
         let rate_large = large.stream.max_time() as f64 / large.stream.len() as f64;
         let ratio = rate_small / rate_large;

@@ -264,7 +264,7 @@ pub fn mean_all(t: &Tensor) -> f32 {
     if t.is_empty() {
         0.0
     } else {
-        sum_all(t) / t.len() as f32
+        sum_all(t) / t.len() as f32 // lint: allow(lossy-cast, element counts stay far below 2^24)
     }
 }
 

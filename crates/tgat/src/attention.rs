@@ -42,7 +42,7 @@ pub fn forward(layer: &LayerParams, cfg: &TgatConfig, inp: &AttentionInputs<'_>)
     let z_src = ops::concat_cols(&[inp.h_src, inp.ht0]);
     let z_ngh = ops::concat_cols(&[inp.h_ngh, inp.e_feat, inp.ht]);
 
-    let scale = 1.0 / (cfg.head_dim() as f32).sqrt();
+    let scale = 1.0 / (cfg.head_dim() as f32).sqrt(); // lint: allow(lossy-cast, head_dim is a small config value)
     let mut head_outs = Vec::with_capacity(layer.heads.len());
     for head in &layer.heads {
         let q = matmul(&z_src, &head.wq);
@@ -69,7 +69,7 @@ mod tests {
 
     fn setup(n: usize) -> (TgatConfig, TgatParams, Tensor, Tensor, Tensor, Tensor, Tensor) {
         let cfg = TgatConfig::tiny();
-        let p = TgatParams::init(cfg, 3);
+        let p = TgatParams::init(cfg, 3).unwrap();
         let k = cfg.n_neighbors;
         let mut rng = init::seeded_rng(9);
         let h_src = init::normal(&mut rng, n, cfg.dim, 1.0);

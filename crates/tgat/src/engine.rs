@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn embed_batch_shape_and_finiteness() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 1);
+        let params = TgatParams::init(cfg, 1).unwrap();
         let (graph, nf, ef) = tiny_world(cfg, 10, 50);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut eng = BaselineEngine::new(&params, ctx);
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn embedding_is_deterministic() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 1);
+        let params = TgatParams::init(cfg, 1).unwrap();
         let (graph, nf, ef) = tiny_world(cfg, 10, 50);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let h1 = BaselineEngine::new(&params, ctx).embed_batch(&[3, 4], &[30.0, 35.0]);
@@ -189,7 +189,7 @@ mod tests {
         // Embedding targets together vs one-by-one must agree: the batched
         // recursion is semantically a per-target computation.
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 2);
+        let params = TgatParams::init(cfg, 2).unwrap();
         let (graph, nf, ef) = tiny_world(cfg, 12, 60);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let ns: Vec<NodeId> = vec![0, 5, 7, 0];
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn duplicate_targets_get_identical_rows() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 2);
+        let params = TgatParams::init(cfg, 2).unwrap();
         let (graph, nf, ef) = tiny_world(cfg, 12, 60);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let h = BaselineEngine::new(&params, ctx).embed_batch(&[4, 4], &[33.0, 33.0]);
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn isolated_node_embeds_without_neighbors() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 1);
+        let params = TgatParams::init(cfg, 1).unwrap();
         let (graph, nf, ef) = tiny_world(cfg, 10, 20);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         // t=0.5 precedes every edge: all targets have empty neighborhoods.
@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn stats_capture_baseline_ops_only() {
         let cfg = TgatConfig::tiny();
-        let params = TgatParams::init(cfg, 1);
+        let params = TgatParams::init(cfg, 1).unwrap();
         let (graph, nf, ef) = tiny_world(cfg, 10, 50);
         let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
         let mut eng = BaselineEngine::new(&params, ctx);

@@ -4,6 +4,7 @@ use crate::config::TgatConfig;
 use crate::time_encode::TimeEncoder;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use tg_error::TgError;
 use tg_tensor::{init, Tensor};
 
 /// Projection weights of one attention head.
@@ -58,11 +59,14 @@ pub struct TgatParams {
 
 impl TgatParams {
     /// Xavier-initialized parameters, deterministic in `seed`.
-    pub fn init(cfg: TgatConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid TGAT configuration");
+    ///
+    /// Rejects configurations that fail [`TgatConfig::validate`] with
+    /// [`TgError::InvalidConfig`] instead of panicking.
+    pub fn init(cfg: TgatConfig, seed: u64) -> Result<Self, TgError> {
+        cfg.validate().map_err(TgError::InvalidConfig)?;
         let mut rng = init::seeded_rng(seed);
         let dh = cfg.head_dim();
-        let layers = (0..cfg.n_layers)
+        let layers: Vec<LayerParams> = (0..cfg.n_layers)
             .map(|_| LayerParams {
                 heads: (0..cfg.n_heads)
                     .map(|_| HeadParams {
@@ -77,7 +81,7 @@ impl TgatParams {
                 fc2_b: Tensor::zeros(1, cfg.dim),
             })
             .collect();
-        Self {
+        Ok(Self {
             cfg,
             layers,
             time: TimeEncoder::new(cfg.time_dim),
@@ -87,7 +91,7 @@ impl TgatParams {
                 fc2_w: init::xavier_uniform(&mut rng, cfg.dim, 1),
                 fc2_b: Tensor::zeros(1, 1),
             },
-        }
+        })
     }
 
     /// Every learnable tensor in a stable order (used by the optimizer and
@@ -142,16 +146,21 @@ impl TgatParams {
         self.param_list().iter().map(|t| t.len()).sum()
     }
 
-    /// Saves the model as JSON.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+    /// Saves the model as JSON. I/O failures surface as [`TgError::Io`].
+    pub fn save(&self, path: &Path) -> Result<(), TgError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| TgError::snapshot(format!("serializing checkpoint: {e}")))?;
+        std::fs::write(path, json)?;
+        Ok(())
     }
 
-    /// Loads a model saved by [`TgatParams::save`].
-    pub fn load(path: &Path) -> std::io::Result<Self> {
+    /// Loads a model saved by [`TgatParams::save`]. Malformed checkpoint
+    /// content surfaces as [`TgError::SnapshotCorrupt`], missing files as
+    /// [`TgError::Io`].
+    pub fn load(path: &Path) -> Result<Self, TgError> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+        serde_json::from_str(&json)
+            .map_err(|e| TgError::snapshot(format!("parsing checkpoint: {e}")))
     }
 }
 
@@ -162,7 +171,7 @@ mod tests {
     #[test]
     fn init_shapes_are_consistent() {
         let cfg = TgatConfig::tiny();
-        let p = TgatParams::init(cfg, 1);
+        let p = TgatParams::init(cfg, 1).unwrap();
         assert_eq!(p.layers.len(), cfg.n_layers);
         for layer in &p.layers {
             assert_eq!(layer.heads.len(), cfg.n_heads);
@@ -181,16 +190,16 @@ mod tests {
     #[test]
     fn init_is_deterministic() {
         let cfg = TgatConfig::tiny();
-        let a = TgatParams::init(cfg, 42);
-        let b = TgatParams::init(cfg, 42);
+        let a = TgatParams::init(cfg, 42).unwrap();
+        let b = TgatParams::init(cfg, 42).unwrap();
         assert_eq!(a.layers[0].heads[0].wq.as_slice(), b.layers[0].heads[0].wq.as_slice());
-        let c = TgatParams::init(cfg, 43);
+        let c = TgatParams::init(cfg, 43).unwrap();
         assert_ne!(a.layers[0].heads[0].wq.as_slice(), c.layers[0].heads[0].wq.as_slice());
     }
 
     #[test]
     fn param_list_orders_agree() {
-        let mut p = TgatParams::init(TgatConfig::tiny(), 1);
+        let mut p = TgatParams::init(TgatConfig::tiny(), 1).unwrap();
         let shapes: Vec<(usize, usize)> = p.param_list().iter().map(|t| t.shape()).collect();
         let shapes_mut: Vec<(usize, usize)> =
             p.param_list_mut().iter().map(|t| t.shape()).collect();
@@ -201,14 +210,14 @@ mod tests {
 
     #[test]
     fn num_parameters_is_positive_and_stable() {
-        let p = TgatParams::init(TgatConfig::tiny(), 1);
+        let p = TgatParams::init(TgatConfig::tiny(), 1).unwrap();
         assert!(p.num_parameters() > 0);
-        assert_eq!(p.num_parameters(), TgatParams::init(TgatConfig::tiny(), 9).num_parameters());
+        assert_eq!(p.num_parameters(), TgatParams::init(TgatConfig::tiny(), 9).unwrap().num_parameters());
     }
 
     #[test]
     fn save_load_roundtrip() {
-        let p = TgatParams::init(TgatConfig::tiny(), 5);
+        let p = TgatParams::init(TgatConfig::tiny(), 5).unwrap();
         let mut path = std::env::temp_dir();
         path.push(format!("tgat-params-{}.json", rand::random::<u64>()));
         p.save(&path).unwrap();

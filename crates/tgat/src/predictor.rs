@@ -54,7 +54,7 @@ mod tests {
     #[test]
     fn score_shape() {
         let cfg = TgatConfig::tiny();
-        let p = TgatParams::init(cfg, 1);
+        let p = TgatParams::init(cfg, 1).unwrap();
         let mut rng = init::seeded_rng(2);
         let src = init::normal(&mut rng, 4, cfg.dim, 1.0);
         let dst = init::normal(&mut rng, 4, cfg.dim, 1.0);

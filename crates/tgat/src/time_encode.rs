@@ -22,7 +22,7 @@ impl TimeEncoder {
         assert!(time_dim > 0, "time encoder needs a positive dimension");
         let omega: Vec<f32> = (0..time_dim)
             .map(|j| {
-                let exponent = if time_dim == 1 { 0.0 } else { 9.0 * j as f32 / (time_dim - 1) as f32 };
+                let exponent = if time_dim == 1 { 0.0 } else { 9.0 * j as f32 / (time_dim - 1) as f32 }; // lint: allow(lossy-cast, time_dim is a small config value)
                 1.0 / 10.0f32.powf(exponent)
             })
             .collect();

@@ -69,7 +69,7 @@ proptest! {
 
     #[test]
     fn attention_output_is_finite_and_well_shaped(inp in inputs(6)) {
-        let params = TgatParams::init(cfg(), 1);
+        let params = TgatParams::init(cfg(), 1).unwrap();
         let out = run_attention(&params, &inp);
         prop_assert_eq!(out.shape(), (inp.n, cfg().dim));
         prop_assert!(out.all_finite());
@@ -77,7 +77,7 @@ proptest! {
 
     #[test]
     fn masked_slots_never_influence_attention(inp in inputs(4), noise in -100.0f32..100.0) {
-        let params = TgatParams::init(cfg(), 1);
+        let params = TgatParams::init(cfg(), 1).unwrap();
         let base = run_attention(&params, &inp);
         // Corrupt every masked slot's neighbor inputs with large noise.
         let c = cfg();
@@ -103,7 +103,7 @@ proptest! {
     #[test]
     fn attention_rows_are_independent(inp in inputs(5)) {
         // Permuting *other* targets must not change a target's output row.
-        let params = TgatParams::init(cfg(), 1);
+        let params = TgatParams::init(cfg(), 1).unwrap();
         let full = run_attention(&params, &inp);
         let c = cfg();
         let k = c.n_neighbors;
@@ -146,8 +146,8 @@ proptest! {
 
     #[test]
     fn parameter_count_is_invariant_to_seed(seed in 0u64..1000) {
-        let a = TgatParams::init(cfg(), seed);
-        let b = TgatParams::init(cfg(), seed.wrapping_add(1));
+        let a = TgatParams::init(cfg(), seed).unwrap();
+        let b = TgatParams::init(cfg(), seed.wrapping_add(1)).unwrap();
         prop_assert_eq!(a.num_parameters(), b.num_parameters());
         prop_assert_eq!(a.param_list().len(), b.param_list().len());
     }

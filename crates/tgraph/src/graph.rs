@@ -91,14 +91,16 @@ impl TemporalGraph {
     /// per-node time order invariant always holds. A frozen graph thaws.
     pub fn insert(&mut self, e: &Edge) {
         self.thaw();
-        let Storage::Dynamic(adj) = &mut self.storage else { unreachable!() };
-        let max = e.src.max(e.dst) as usize;
-        if max >= adj.len() {
-            adj.resize(max + 1, Vec::new());
+        // `thaw` always leaves the storage dynamic, so the guard never skips.
+        if let Storage::Dynamic(adj) = &mut self.storage {
+            let max = e.src.max(e.dst) as usize;
+            if max >= adj.len() {
+                adj.resize(max + 1, Vec::new());
+            }
+            Self::insert_one(&mut adj[e.src as usize], AdjEntry { time: e.time, ngh: e.dst, eid: e.eid });
+            Self::insert_one(&mut adj[e.dst as usize], AdjEntry { time: e.time, ngh: e.src, eid: e.eid });
+            self.num_edges += 1;
         }
-        Self::insert_one(&mut adj[e.src as usize], AdjEntry { time: e.time, ngh: e.dst, eid: e.eid });
-        Self::insert_one(&mut adj[e.dst as usize], AdjEntry { time: e.time, ngh: e.src, eid: e.eid });
-        self.num_edges += 1;
     }
 
     fn insert_one(list: &mut Vec<AdjEntry>, entry: AdjEntry) {
@@ -115,13 +117,15 @@ impl TemporalGraph {
     /// (future-work extension of the paper, §7). Returns true if found.
     pub fn delete_edge(&mut self, src: NodeId, dst: NodeId, eid: EdgeId) -> bool {
         self.thaw();
-        let Storage::Dynamic(adj) = &mut self.storage else { unreachable!() };
         let mut removed = false;
-        for node in [src, dst] {
-            if let Some(list) = adj.get_mut(node as usize) {
-                if let Some(pos) = list.iter().position(|x| x.eid == eid) {
-                    list.remove(pos);
-                    removed = true;
+        // `thaw` always leaves the storage dynamic, so the guard never skips.
+        if let Storage::Dynamic(adj) = &mut self.storage {
+            for node in [src, dst] {
+                if let Some(list) = adj.get_mut(node as usize) {
+                    if let Some(pos) = list.iter().position(|x| x.eid == eid) {
+                        list.remove(pos);
+                        removed = true;
+                    }
                 }
             }
         }

@@ -1,0 +1,18 @@
+//! L1 fail fixture: four panic sites in non-test library code.
+
+pub fn read_config(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+
+pub fn field(line: &str) -> f32 {
+    line.split(',').next().expect("row has a field").parse().unwrap_or(0.0)
+}
+
+pub fn dispatch(kind: u8) -> &'static str {
+    match kind {
+        0 => "cache",
+        1 => "dedup",
+        2 => panic!("unknown kind"),
+        _ => unreachable!(),
+    }
+}

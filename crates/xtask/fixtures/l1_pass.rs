@@ -1,0 +1,39 @@
+//! L1 pass fixture: library code that handles errors without panicking.
+//! Asserts, test-module panics, and annotated sites are all permitted.
+
+/// Parses a positive count, surfacing failure as an error value.
+pub fn parse_count(text: &str) -> Result<usize, String> {
+    let n: usize = text.trim().parse().map_err(|e| format!("bad count: {e}"))?;
+    if n == 0 {
+        return Err("count must be positive".to_string());
+    }
+    Ok(n)
+}
+
+/// Contract checks are not findings: they document caller obligations.
+pub fn halve(n: usize) -> usize {
+    assert!(n % 2 == 0, "halve expects an even number");
+    debug_assert!(n < 1 << 40);
+    n / 2
+}
+
+/// Mentioning .unwrap() in a comment or "panic! text" in a string is fine.
+pub fn describe() -> &'static str {
+    "never call panic! lightly"
+}
+
+pub fn last_resort() -> u8 {
+    [1u8, 2].into_iter().max().unwrap() // lint: allow(panic, non-empty array)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Result<u8, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("test-only panic is exempt");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! L2 fail fixture: four narrowing casts without annotations.
+
+pub fn mean(sum: f64, count: usize) -> f32 {
+    (sum / count as f64) as f32
+}
+
+pub fn bucket(key: u64) -> u32 {
+    key as u32
+}
+
+pub fn index_of(dt: f32, frac: f64) -> (usize, usize) {
+    (dt as usize, frac.round() as usize)
+}

@@ -1,0 +1,23 @@
+//! L2 pass fixture: widening casts, annotated narrowings, and test-only
+//! casts are all permitted.
+
+pub fn widen(node: u32, n: usize) -> (usize, u64, f64) {
+    (node as usize, n as u64, n as f64)
+}
+
+pub fn annotated(total: usize) -> f32 {
+    total as f32 // lint: allow(lossy-cast, batch sizes stay far below 2^24)
+}
+
+pub fn checked(big: u64) -> Result<u32, String> {
+    u32::try_from(big).map_err(|_| format!("{big} overflows u32"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast_freely() {
+        let xs: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        assert_eq!(xs.len() as u32, 10);
+    }
+}

@@ -1,0 +1,14 @@
+//! L3 fail fixture: SipHash std maps on a hot path (one grouped import,
+//! one fully qualified use).
+
+use std::collections::{HashMap, VecDeque};
+
+pub struct Cache {
+    table: HashMap<u64, f32>,
+    fifo: VecDeque<u64>,
+}
+
+pub fn dedup_nodes(nodes: &[u32]) -> Vec<u32> {
+    let mut seen = std::collections::HashSet::new();
+    nodes.iter().copied().filter(|n| seen.insert(*n)).collect()
+}

@@ -1,0 +1,33 @@
+//! L3 pass fixture: hot-path code on FxHashMap, with the std Entry API
+//! (an accessor type, not a hasher choice) and non-hash std collections.
+
+use std::collections::hash_map::Entry;
+use std::collections::VecDeque;
+
+pub struct Cache {
+    table: rustc_hash::FxHashMap<u64, f32>,
+    fifo: VecDeque<u64>,
+}
+
+impl Cache {
+    pub fn upsert(&mut self, key: u64, value: f32) {
+        match self.table.entry(key) {
+            Entry::Occupied(mut e) => *e.get_mut() = value,
+            Entry::Vacant(v) => {
+                v.insert(value);
+                self.fifo.push_back(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Tests may use std maps: assertion readability beats hash speed.
+    #[test]
+    fn std_map_in_tests_is_fine() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u8, 2u8);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! L4 pass fixture: every public mutator of shared cache state documents
+//! its `# Invariants`; read-only accessors need none.
+
+pub struct Counter {
+    hits: std::sync::atomic::AtomicU64,
+    limit: usize,
+    items: Vec<u64>,
+}
+
+impl Counter {
+    /// Records one hit.
+    ///
+    /// # Invariants
+    ///
+    /// - The hit counter is monotonically non-decreasing.
+    pub fn record(&self) {
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Inserts a key, evicting the oldest entry at capacity.
+    ///
+    /// # Invariants
+    ///
+    /// - `self.items.len() <= self.limit` holds on return.
+    /// - Keys already present are not duplicated.
+    pub fn insert(&mut self, key: u64) {
+        if !self.items.contains(&key) {
+            if self.items.len() == self.limit {
+                self.items.remove(0);
+            }
+            self.items.push(key);
+        }
+    }
+
+    /// Read-only accessors carry no mutation, so no section is required.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}

@@ -1,0 +1,192 @@
+//! `tg-xtask` — the workspace's static-analysis suite.
+//!
+//! Run as `cargo run -p tg-xtask -- lint` (text output) or
+//! `cargo run -p tg-xtask -- lint --format json` (machine-readable, for
+//! CI). The same entry point backs the repo's `tests/lint_gate.rs`, so
+//! `cargo test` fails on any new violation.
+//!
+//! The analyzer is std-only and source-level: the build environment has no
+//! registry access, and a lint gate must never be the part of the build
+//! that breaks. See [`rules`] for what each lint enforces and
+//! [`source`] for the lexical model that keeps patterns from matching
+//! inside comments, strings, or `#[cfg(test)]` items.
+
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use report::{render_json, render_text};
+pub use rules::{lint_source, Finding, Lint, Scope};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::Path;
+
+/// Crates whose `src/` trees are subject to L1 (no-panic) and L2
+/// (lossy-cast) — the library crates on the inference path. `tg-bench` is
+/// a harness (panicking with context is its job) and `tg-xtask` analyzes
+/// rather than serves, so neither is listed.
+pub const LIBRARY_CRATES: &[&str] =
+    &["crates/tensor", "crates/tgraph", "crates/tgat", "crates/core", "crates/datasets"];
+
+/// Hot-path files where SipHash maps are banned (L3): the §4 memoization,
+/// dedup, and time-encode caches, their key packing, and their snapshot
+/// codec.
+pub const HOT_HASH_FILES: &[&str] = &[
+    "crates/core/src/cache.rs",
+    "crates/core/src/dedup.rs",
+    "crates/core/src/timecache.rs",
+    "crates/core/src/hash.rs",
+    "crates/core/src/persist.rs",
+];
+
+/// Files holding shared cache state whose public mutators must document
+/// `# Invariants` (L4).
+pub const CACHE_STATE_FILES: &[&str] =
+    &["crates/core/src/cache.rs", "crates/core/src/timecache.rs", "crates/core/src/persist.rs"];
+
+/// Outcome of a whole-workspace lint run.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every in-scope `.rs` file under `root` (the workspace root).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+    for krate in LIBRARY_CRATES {
+        let src_dir = root.join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&path)?;
+            let scope = Scope {
+                panic: true,
+                lossy_cast: true,
+                std_hash: HOT_HASH_FILES.contains(&rel.as_str()),
+                invariants: CACHE_STATE_FILES.contains(&rel.as_str()),
+            };
+            let src = SourceFile::parse(rel, text);
+            findings.extend(lint_source(&src, scope));
+            files_checked += 1;
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(LintReport { findings, files_checked })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // `src/bin` targets are CLI surface, not library code.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod fixture_tests {
+    //! Self-tests over `fixtures/`: one passing and one violating example
+    //! per lint. The fail fixtures also pin *which* lines fire, so a rule
+    //! that silently widens or narrows its matching breaks the build.
+
+    use super::*;
+
+    fn lint_fixture(name: &str, scope: Scope) -> Vec<Finding> {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        lint_source(&SourceFile::parse(name, text), scope)
+    }
+
+    fn scope_for(lint: Lint) -> Scope {
+        Scope {
+            panic: lint == Lint::Panic,
+            lossy_cast: lint == Lint::LossyCast,
+            std_hash: lint == Lint::StdHash,
+            invariants: lint == Lint::MissingInvariants,
+        }
+    }
+
+    #[test]
+    fn l1_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l1_pass.rs", scope_for(Lint::Panic)).len(), 0);
+    }
+
+    #[test]
+    fn l1_fail_fixture_fires_once_per_panic_site() {
+        let f = lint_fixture("l1_fail.rs", scope_for(Lint::Panic));
+        assert_eq!(f.len(), 4, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::Panic));
+    }
+
+    #[test]
+    fn l2_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l2_pass.rs", scope_for(Lint::LossyCast)).len(), 0);
+    }
+
+    #[test]
+    fn l2_fail_fixture_fires_on_each_narrowing_cast() {
+        let f = lint_fixture("l2_fail.rs", scope_for(Lint::LossyCast));
+        assert_eq!(f.len(), 4, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::LossyCast));
+    }
+
+    #[test]
+    fn l3_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l3_pass.rs", scope_for(Lint::StdHash)).len(), 0);
+    }
+
+    #[test]
+    fn l3_fail_fixture_fires_on_std_maps() {
+        let f = lint_fixture("l3_fail.rs", scope_for(Lint::StdHash));
+        assert_eq!(f.len(), 2, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::StdHash));
+    }
+
+    #[test]
+    fn l4_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l4_pass.rs", scope_for(Lint::MissingInvariants)).len(), 0);
+    }
+
+    #[test]
+    fn l4_fail_fixture_fires_on_undocumented_mutators() {
+        let f = lint_fixture("l4_fail.rs", scope_for(Lint::MissingInvariants));
+        assert_eq!(f.len(), 2, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::MissingInvariants));
+    }
+
+    #[test]
+    fn fail_fixtures_fire_under_the_full_scope_too() {
+        for name in ["l1_fail.rs", "l2_fail.rs", "l3_fail.rs", "l4_fail.rs"] {
+            assert!(
+                !lint_fixture(name, Scope::all()).is_empty(),
+                "{name} should fail under Scope::all()"
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! CLI for the workspace lints: `cargo run -p tg-xtask -- lint`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: cargo run -p tg-xtask -- lint [--format text|json] [--root PATH]
+
+Runs the repo's static-analysis suite (L1 panic, L2 lossy-cast, L3
+std-hash, L4 missing-invariants) over the workspace library crates.
+See DESIGN.md \"Error handling & lint policy\" for what each lint means
+and the `// lint: allow(<name>, <reason>)` escape hatch.";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        Some("-h") | Some("--help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("error: expected the `lint` subcommand, got {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("error: --format takes `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match tg_xtask::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: lint walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Text => print!("{}", tg_xtask::render_text(&report)),
+        Format::Json => println!("{}", tg_xtask::render_json(&report)),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace Cargo.toml above {} (pass --root)",
+                    start.display()
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Finding renderers: human text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled (std-only crate) and emits a stable
+//! shape for CI consumption:
+//!
+//! ```json
+//! {
+//!   "files_checked": 30,
+//!   "count": 1,
+//!   "findings": [
+//!     {"lint": "panic", "file": "crates/core/src/cache.rs", "line": 7,
+//!      "message": "..."}
+//!   ]
+//! }
+//! ```
+
+use crate::LintReport;
+
+/// Human-readable report, one `file:line: [lint] message` per finding.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.lint.name(), f.message));
+    }
+    out.push_str(&format!(
+        "lint: {} finding(s) in {} file(s) checked\n",
+        report.findings.len(),
+        report.files_checked
+    ));
+    out
+}
+
+/// Machine-readable report.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"files_checked\":{},", report.files_checked));
+    out.push_str(&format!("\"count\":{},", report.findings.len()));
+    out.push_str("\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_string(f.lint.name()),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Lint};
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                lint: Lint::Panic,
+                file: "crates/core/src/cache.rs".to_string(),
+                line: 7,
+                message: "a \"quoted\" message".to_string(),
+            }],
+            files_checked: 3,
+        }
+    }
+
+    #[test]
+    fn text_report_lists_file_line_and_lint() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/core/src/cache.rs:7: [panic]"));
+        assert!(text.contains("1 finding(s) in 3 file(s)"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let json = render_json(&sample());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\":7"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let json = render_json(&LintReport { findings: vec![], files_checked: 0 });
+        assert_eq!(json, "{\"files_checked\":0,\"count\":0,\"findings\":[]}");
+    }
+}

@@ -1,0 +1,430 @@
+//! The four repo-specific lints (see DESIGN.md "Error handling & lint
+//! policy").
+//!
+//! - **L1 `panic`** — no `.unwrap()` / `.expect(...)` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test library code.
+//!   `assert!` / `assert_eq!` / `debug_assert!` remain allowed: they state
+//!   caller contracts, not unhandled error paths.
+//! - **L2 `lossy-cast`** — no narrowing numeric casts. `as f32` and
+//!   `as u32` always narrow from this workspace's wider arithmetic types
+//!   (usize / u64 / f64) and are always flagged; `as usize` is flagged only
+//!   when the source is float-like (a `.round()`-style chain or one of the
+//!   repo's conventional f32 timestamp names). Widening or same-width casts
+//!   (`as f64`, `as u64`, `u32 as usize`) are not findings.
+//! - **L3 `std-hash`** — hot-path files must use `FxHashMap` /
+//!   `FxHashSet`, never SipHash `std::collections::HashMap` / `HashSet`.
+//!   The `std::collections::hash_map::Entry` API is fine: it is an accessor
+//!   type, not a hasher choice.
+//! - **L4 `missing-invariants`** — every `pub fn` that mutates shared
+//!   cache state must carry an `# Invariants` doc section. Mutation is
+//!   detected as a `&mut self` receiver or a body that takes a write lock
+//!   (`.write()`) or bumps shared counters (`.fetch_add(` / `.fetch_sub(`).
+//!
+//! Every lint honors a same-line `// lint: allow(<name>[, reason])` escape
+//! hatch and skips `#[cfg(test)]` items.
+
+use crate::source::SourceFile;
+
+/// Which lint produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lint {
+    Panic,
+    LossyCast,
+    StdHash,
+    MissingInvariants,
+}
+
+impl Lint {
+    /// The name used in `// lint: allow(...)` annotations and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Panic => "panic",
+            Lint::LossyCast => "lossy-cast",
+            Lint::StdHash => "std-hash",
+            Lint::MissingInvariants => "missing-invariants",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub lint: Lint,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Which lints apply to a given file (decided by the workspace walker from
+/// the file's crate and path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope {
+    pub panic: bool,
+    pub lossy_cast: bool,
+    pub std_hash: bool,
+    pub invariants: bool,
+}
+
+impl Scope {
+    pub fn all() -> Self {
+        Self { panic: true, lossy_cast: true, std_hash: true, invariants: true }
+    }
+}
+
+/// Runs every in-scope lint over one parsed file.
+pub fn lint_source(src: &SourceFile, scope: Scope) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if scope.panic {
+        lint_panic(src, &mut out);
+    }
+    if scope.lossy_cast {
+        lint_lossy_cast(src, &mut out);
+    }
+    if scope.std_hash {
+        lint_std_hash(src, &mut out);
+    }
+    if scope.invariants {
+        lint_invariants(src, &mut out);
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Offsets of every occurrence of `needle` in `hay` where the preceding
+/// byte is not part of an identifier (word-boundary on the left).
+fn bounded_matches<'a>(hay: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(pos) = hay[from..].find(needle) {
+            let at = from + pos;
+            from = at + 1;
+            if at == 0 || !is_ident_byte(bytes[at - 1]) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+// --- L1: panic -------------------------------------------------------------
+
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()` panics on Err/None; return a `TgError` instead"),
+    (".expect(", "`.expect(...)` panics on Err/None; return a `TgError` instead"),
+    ("panic!", "`panic!` in library code; return a `TgError` instead"),
+    ("unreachable!", "`unreachable!` in library code; restructure so the compiler proves it"),
+    ("todo!", "`todo!` must not ship in library code"),
+    ("unimplemented!", "`unimplemented!` must not ship in library code"),
+];
+
+fn lint_panic(src: &SourceFile, out: &mut Vec<Finding>) {
+    for &(pattern, message) in PANIC_PATTERNS {
+        for at in bounded_matches(&src.code, pattern) {
+            let line = src.line_of(at);
+            if src.is_test_line(line) || src.is_allowed(line, Lint::Panic.name()) {
+                continue;
+            }
+            out.push(Finding {
+                lint: Lint::Panic,
+                file: src.path.clone(),
+                line,
+                message: message.to_string(),
+            });
+        }
+    }
+    out.sort_by_key(|f| f.line);
+}
+
+// --- L2: lossy-cast --------------------------------------------------------
+
+/// Float-producing method calls: `x.round() as usize` truncates a float.
+const FLOAT_METHODS: &[&str] = &["round()", "floor()", "ceil()", "trunc()", "sqrt()", "abs()"];
+
+/// The repo's conventional f32 timestamp/delta variable names (`Time` is an
+/// `f32` alias); `dt as usize` is a float truncation even though the source
+/// type is not spelled at the cast site.
+const FLOAT_IDENTS: &[&str] = &["dt", "ts", "time", "t"];
+
+fn lint_lossy_cast(src: &SourceFile, out: &mut Vec<Finding>) {
+    for at in bounded_matches(&src.code, "as") {
+        let bytes = src.code.as_bytes();
+        let after = at + 2;
+        if after >= bytes.len() || is_ident_byte(bytes[after]) {
+            continue; // `assert`, `cast`, etc.
+        }
+        let rest = src.code[after..].trim_start();
+        let target: String =
+            rest.bytes().take_while(|&b| is_ident_byte(b)).map(char::from).collect();
+        let narrowing = match target.as_str() {
+            "f32" | "u32" => true,
+            "usize" => source_is_float_like(&src.code[..at]),
+            _ => false,
+        };
+        if !narrowing {
+            continue;
+        }
+        let line = src.line_of(at);
+        if src.is_test_line(line) || src.is_allowed(line, Lint::LossyCast.name()) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::LossyCast,
+            file: src.path.clone(),
+            line,
+            message: format!(
+                "cast to `{target}` can drop bits; annotate with \
+                 `// lint: allow(lossy-cast, <why the value fits>)` or widen the type"
+            ),
+        });
+    }
+}
+
+/// Heuristic: does the expression ending just before `as` look like an f32/
+/// f64 value? True for `.round()`-style chains, chained float casts
+/// (`x as f64 as usize`), float literals, and conventional timestamp names.
+fn source_is_float_like(before: &str) -> bool {
+    let trimmed = before.trim_end();
+    if FLOAT_METHODS.iter().any(|m| trimmed.ends_with(m)) {
+        return true;
+    }
+    let tail: String = trimmed
+        .bytes()
+        .rev()
+        .take_while(|&b| is_ident_byte(b) || b == b'.')
+        .map(char::from)
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let last = tail.rsplit('.').next().unwrap_or(&tail);
+    if matches!(last, "f32" | "f64") {
+        return true; // cast chain
+    }
+    if last.bytes().next().is_some_and(|b| b.is_ascii_digit()) && tail.contains('.') {
+        return true; // float literal like 1.5
+    }
+    FLOAT_IDENTS.contains(&last)
+}
+
+// --- L3: std-hash ----------------------------------------------------------
+
+fn lint_std_hash(src: &SourceFile, out: &mut Vec<Finding>) {
+    const PREFIX: &str = "std::collections::";
+    for at in bounded_matches(&src.code, PREFIX) {
+        let rest = &src.code[at + PREFIX.len()..];
+        let offenders: Vec<&str> = if let Some(group) = rest.strip_prefix('{') {
+            let inner = &group[..group.find('}').unwrap_or(group.len())];
+            inner
+                .split(',')
+                .map(str::trim)
+                .filter(|item| {
+                    item.starts_with("HashMap") || item.starts_with("HashSet")
+                })
+                .collect()
+        } else if rest.starts_with("HashMap") {
+            vec!["HashMap"]
+        } else if rest.starts_with("HashSet") {
+            vec!["HashSet"]
+        } else {
+            // `hash_map::Entry` and friends are accessor types, not a
+            // hasher choice — not findings.
+            continue;
+        };
+        for name in offenders {
+            let line = src.line_of(at);
+            if src.is_test_line(line) || src.is_allowed(line, Lint::StdHash.name()) {
+                continue;
+            }
+            out.push(Finding {
+                lint: Lint::StdHash,
+                file: src.path.clone(),
+                line,
+                message: format!(
+                    "`std::collections::{name}` (SipHash) on a hot path; \
+                     use `rustc_hash::Fx{name}` instead"
+                ),
+            });
+        }
+    }
+}
+
+// --- L4: missing-invariants ------------------------------------------------
+
+/// Tokens in a `pub fn` that mark it as mutating shared cache state.
+const MUTATION_TOKENS: &[&str] = &[".write()", ".fetch_add(", ".fetch_sub("];
+
+fn lint_invariants(src: &SourceFile, out: &mut Vec<Finding>) {
+    let bytes = src.code.as_bytes();
+    for at in bounded_matches(&src.code, "pub fn ") {
+        let line = src.line_of(at);
+        if src.is_test_line(line) || src.is_allowed(line, Lint::MissingInvariants.name()) {
+            continue;
+        }
+        // Signature: up to the opening brace, or `;` for a bodyless trait
+        // declaration — but a `;` inside `[f32; 4]`-style params is part of
+        // the signature, so track bracket depth.
+        let mut open = None;
+        let mut nest = 0i32;
+        for (j, &b) in bytes[at..].iter().enumerate() {
+            match b {
+                b'(' | b'[' | b'<' => nest += 1,
+                b')' | b']' | b'>' => nest -= 1,
+                b'{' => {
+                    open = Some(at + j);
+                    break;
+                }
+                b';' if nest <= 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let signature = &src.code[at..open];
+        // Body span via brace matching.
+        let mut depth = 0usize;
+        let mut close = open;
+        for (j, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body = &src.code[open..=close.max(open)];
+        let mutates = signature.contains("&mut self")
+            || MUTATION_TOKENS.iter().any(|t| body.contains(t));
+        if !mutates {
+            continue;
+        }
+        if doc_block_has_invariants(src, line) {
+            continue;
+        }
+        let fn_name: String = src.code[at + "pub fn ".len()..]
+            .bytes()
+            .take_while(|&b| is_ident_byte(b))
+            .map(char::from)
+            .collect();
+        out.push(Finding {
+            lint: Lint::MissingInvariants,
+            file: src.path.clone(),
+            line,
+            message: format!(
+                "`pub fn {fn_name}` mutates shared cache state but its doc \
+                 comment has no `# Invariants` section"
+            ),
+        });
+    }
+}
+
+/// Walks the contiguous doc-comment/attribute block directly above
+/// 1-based `fn_line` in the raw text, looking for `# Invariants`.
+fn doc_block_has_invariants(src: &SourceFile, fn_line: usize) -> bool {
+    let lines: Vec<&str> = src.raw.lines().collect();
+    let mut i = fn_line.saturating_sub(1); // index of the fn line
+    while i > 0 {
+        let above = lines[i - 1].trim_start();
+        if above.starts_with("///") || above.starts_with("#[") || above.starts_with("//") {
+            if above.starts_with("///") && above.contains("# Invariants") {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str, scope: Scope) -> Vec<Finding> {
+        lint_source(&SourceFile::parse("t.rs", src), scope)
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_a_panic_finding() {
+        let src = "fn f() { x.unwrap_or_else(|| 0); y.unwrap_or(1); z.unwrap_or_default(); }\n";
+        let scope = Scope { panic: true, ..Default::default() };
+        assert!(findings(src, scope).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_allowed_by_l1() {
+        let src = "fn f(n: usize) { assert!(n > 0); debug_assert_eq!(n % 2, 0); }\n";
+        let scope = Scope { panic: true, ..Default::default() };
+        assert!(findings(src, scope).is_empty());
+    }
+
+    #[test]
+    fn widening_casts_are_not_findings() {
+        let src = "fn f(n: u32, x: f32) -> f64 { let _ = n as usize; let _ = n as u64; x as f64 }\n";
+        let scope = Scope { lossy_cast: true, ..Default::default() };
+        assert!(findings(src, scope).is_empty());
+    }
+
+    #[test]
+    fn float_truncation_to_usize_is_flagged() {
+        let src = "fn f(x: f64, dt: f32) { let _ = x.round() as usize; let _ = dt as usize; }\n";
+        let scope = Scope { lossy_cast: true, ..Default::default() };
+        assert_eq!(findings(src, scope).len(), 2);
+    }
+
+    #[test]
+    fn entry_api_is_not_a_std_hash_finding() {
+        let src = "use std::collections::hash_map::Entry;\nfn f() { let _: Entry<u8, u8>; }\n";
+        let scope = Scope { std_hash: true, ..Default::default() };
+        assert!(findings(src, scope).is_empty());
+    }
+
+    #[test]
+    fn grouped_std_hash_import_is_flagged() {
+        let src = "use std::collections::{HashMap, VecDeque};\n";
+        let scope = Scope { std_hash: true, ..Default::default() };
+        let f = findings(src, scope);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("FxHashMap"));
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_on_its_line_only() {
+        let src = "fn f(n: u64) {\n    let a = n as u32; // lint: allow(lossy-cast, n < 4e9)\n    let b = n as u32;\n}\n";
+        let scope = Scope { lossy_cast: true, ..Default::default() };
+        let f = findings(src, scope);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn mut_self_without_invariants_doc_is_flagged() {
+        let src = "pub struct C;\nimpl C {\n    pub fn insert(&mut self) {}\n}\n";
+        let scope = Scope { invariants: true, ..Default::default() };
+        let f = findings(src, scope);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, Lint::MissingInvariants);
+    }
+
+    #[test]
+    fn invariants_doc_satisfies_l4() {
+        let src = "pub struct C;\nimpl C {\n    /// Inserts.\n    ///\n    /// # Invariants\n    ///\n    /// - count <= limit.\n    pub fn insert(&mut self) {}\n}\n";
+        let scope = Scope { invariants: true, ..Default::default() };
+        assert!(findings(src, scope).is_empty());
+    }
+
+    #[test]
+    fn read_only_pub_fn_needs_no_invariants() {
+        let src = "pub struct C;\nimpl C {\n    pub fn len(&self) -> usize { 0 }\n}\n";
+        let scope = Scope { invariants: true, ..Default::default() };
+        assert!(findings(src, scope).is_empty());
+    }
+}

@@ -15,9 +15,9 @@ use tgopt_repro::tgat::engine::GraphContext;
 use tgopt_repro::tgat::{BaselineEngine, TgatConfig, TgatParams};
 use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = datasets::spec_by_name("snap-msg").expect("known dataset");
-    let data = datasets::generate(&spec, 0.2, 3);
+    let data = datasets::generate(&spec, 0.2, 3)?;
     let cfg = TgatConfig {
         dim: 24,
         edge_dim: data.dim(),
@@ -26,7 +26,7 @@ fn main() {
         n_heads: 2,
         n_neighbors: 8,
     };
-    let params = TgatParams::init(cfg, 21);
+    let params = TgatParams::init(cfg, 21)?;
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
 
     // Phase 1: serve queries over the first 80% of the history.
@@ -42,7 +42,7 @@ fn main() {
 
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut engine = TgoptEngine::new(&params, ctx, OptConfig::all());
-    let _ = engine.embed_batch(&queries, &qts);
+    let _ = engine.embed_batch(&queries, &qts)?;
     let warm = engine.cache().len();
     println!("phase 1: warmed cache with {warm} embeddings over {split} edges");
 
@@ -56,7 +56,7 @@ fn main() {
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut engine = TgoptEngine::with_cache(&params, ctx, OptConfig::all(), cache, counters);
     let before = engine.counters();
-    let h_grown = engine.embed_batch(&queries, &qts);
+    let h_grown = engine.embed_batch(&queries, &qts)?;
     let delta = engine.counters().delta_since(&before);
     println!(
         "phase 2: after growth, re-query at the same (node, t): {:.0}% served from cache",
@@ -85,11 +85,12 @@ fn main() {
         victim.src, victim.dst, victim.time
     );
 
-    let h_after = engine.embed_batch(&queries, &qts);
+    let h_after = engine.embed_batch(&queries, &qts)?;
     let mut fresh = BaselineEngine::new(&params, ctx);
     let h_fresh = fresh.embed_batch(&queries, &qts);
     let diff = h_after.max_abs_diff(&h_fresh);
     println!("         post-delete embeddings match a fresh baseline within {diff:.1e}");
     assert!(diff < 1e-4, "invalidation must restore correctness");
     println!("\ncache maintained across growth and deletion without recomputing the world.");
+    Ok(())
 }

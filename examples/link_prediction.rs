@@ -15,11 +15,11 @@ use tgopt_repro::tgat::train::{train, TrainConfig};
 use tgopt_repro::tgat::{predictor, TgatConfig, TgatParams};
 use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small slice of the synthetic MOOC graph: students acting on a small
     // set of course items — structured enough to learn from quickly.
     let spec = datasets::spec_by_name("jodie-mooc").expect("known dataset");
-    let data = datasets::generate(&spec, 0.004, 1);
+    let data = datasets::generate(&spec, 0.004, 1)?;
     println!("training on {} interactions / {} nodes", data.stream.len(), data.stream.num_nodes());
 
     let cfg = TgatConfig {
@@ -30,7 +30,7 @@ fn main() {
         n_heads: 2,
         n_neighbors: 5,
     };
-    let mut params = TgatParams::init(cfg, 3);
+    let mut params = TgatParams::init(cfg, 3)?;
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
 
     let tc = TrainConfig { epochs: 3, batch_size: 100, lr: 3e-3, train_frac: 0.8, seed: 9, ..Default::default() };
@@ -58,7 +58,7 @@ fn main() {
     // streaming deployment would already be in.
     for batch in tgopt_repro::graph::BatchIter::new(&data.stream, 100) {
         let (ns, ts) = batch.targets();
-        let _ = engine.embed_batch(&ns, &ts);
+        let _ = engine.embed_batch(&ns, &ts)?;
     }
 
     let t_query = data.stream.max_time() + 1.0;
@@ -81,7 +81,7 @@ fn main() {
     let mut ns = vec![user];
     ns.extend_from_slice(&candidates);
     let ts = vec![t_query; ns.len()];
-    let h = engine.embed_batch(&ns, &ts);
+    let h = engine.embed_batch(&ns, &ts)?;
     let user_h = Tensor::from_vec(1, cfg.dim, h.row(0).to_vec());
     println!("\nlink scores for user {user} at t={t_query}:");
     for (i, &cand) in candidates.iter().enumerate() {
@@ -95,4 +95,5 @@ fn main() {
         100.0 * engine.counters().hit_rate()
     );
     std::fs::remove_file(&path).ok();
+    Ok(())
 }

@@ -13,12 +13,12 @@ use tgopt_repro::tgat::engine::GraphContext;
 use tgopt_repro::tgat::{BaselineEngine, TgatConfig, TgatParams};
 use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Get a dynamic graph. Here: a synthetic stand-in for the Wikipedia
     //    edit stream (see `tg_datasets` for the full catalog, or
     //    `datasets::load_csv` for your own data).
     let spec = datasets::spec_by_name("jodie-wiki").expect("known dataset");
-    let data = datasets::generate(&spec, 0.02, 42);
+    let data = datasets::generate(&spec, 0.02, 42)?;
     println!(
         "dataset: {} — {} interactions among {} nodes, {}-dim edge features",
         data.name,
@@ -38,7 +38,7 @@ fn main() {
         n_heads: 2,
         n_neighbors: 10,
     };
-    let params = TgatParams::init(cfg, 42);
+    let params = TgatParams::init(cfg, 42)?;
     println!(
         "model: {} layers, {} heads, {} parameters",
         cfg.n_layers,
@@ -72,7 +72,7 @@ fn main() {
     let mut opt_sum = 0.0f64;
     for batch in BatchIter::new(&data.stream, 200) {
         let (ns, ts) = batch.targets();
-        let h = optimized.embed_batch(&ns, &ts);
+        let h = optimized.embed_batch(&ns, &ts)?;
         opt_sum += h.as_slice().iter().map(|&v| v as f64).sum::<f64>();
     }
     let opt_s = start.elapsed().as_secs_f64();
@@ -93,4 +93,5 @@ fn main() {
         optimized.counters().dedup_removed,
     );
     assert!(drift < 1e-3, "engines must agree");
+    Ok(())
 }

@@ -18,9 +18,9 @@ use tgopt_repro::tgat::engine::GraphContext;
 use tgopt_repro::tgat::{predictor, TgatConfig, TgatParams};
 use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = datasets::spec_by_name("jodie-lastfm").expect("known dataset");
-    let data = datasets::generate(&spec, 0.01, 5);
+    let data = datasets::generate(&spec, 0.01, 5)?;
     let GraphKind::Bipartite { users, items } = spec.kind else {
         unreachable!("jodie datasets are bipartite")
     };
@@ -37,7 +37,7 @@ fn main() {
         n_heads: 2,
         n_neighbors: 10,
     };
-    let params = TgatParams::init(cfg, 11);
+    let params = TgatParams::init(cfg, 11)?;
     let graph = TemporalGraph::from_stream(&data.stream);
     // Size features/counters to the full id space: a scaled stream may not
     // have touched the highest user/item ids yet.
@@ -64,7 +64,7 @@ fn main() {
     let total_batches = BatchIter::new(&data.stream, 200).num_batches();
     for batch in BatchIter::new(&data.stream, 200) {
         let (ns, ts) = batch.targets();
-        let _ = engine.embed_batch(&ns, &ts);
+        let _ = engine.embed_batch(&ns, &ts)?;
         let now = engine.counters();
         let delta = now.delta_since(&prev);
         prev = now;
@@ -84,7 +84,7 @@ fn main() {
     let t = data.stream.max_time() + 1.0;
     let mut ns = vec![last.src];
     ns.extend_from_slice(&popular);
-    let h = engine.embed_batch(&ns, &vec![t; ns.len()]);
+    let h = engine.embed_batch(&ns, &vec![t; ns.len()])?;
     let user_h = Tensor::from_vec(1, cfg.dim, h.row(0).to_vec());
     let mut scored: Vec<(u32, f32)> = popular
         .iter()
@@ -105,4 +105,5 @@ fn main() {
         engine.cache().len(),
         engine.cache().bytes_used() / 1024
     );
+    Ok(())
 }

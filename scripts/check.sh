@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything a change must pass before review.
+#
+#   ./scripts/check.sh
+#
+# Runs, in order:
+#   1. cargo build --release        — the workspace compiles with optimizations
+#   2. cargo test -q --workspace    — every crate's unit + integration tests
+#   3. cargo run -p tg-xtask -- lint — the repo's static-analysis suite
+#      (L1 panic, L2 lossy-cast, L3 std-hash, L4 missing-invariants; see
+#      DESIGN.md "Error handling & lint policy")
+#
+# The lint also runs inside `cargo test` via tests/lint_gate.rs, so step 3
+# is technically redundant — but running it standalone gives file:line
+# output (and `--format json` for CI) without a test harness around it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo run -p tg-xtask -- lint"
+cargo run --release -q -p tg-xtask -- lint
+
+echo "==> all checks passed"

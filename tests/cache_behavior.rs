@@ -21,9 +21,9 @@ struct World {
 
 fn world(name: &str, scale: f64) -> World {
     let spec = spec_by_name(name).unwrap();
-    let data = generate(&spec, scale, 3);
+    let data = generate(&spec, scale, 3).unwrap();
     let cfg = cfg(data.dim());
-    let params = TgatParams::init(cfg, 2);
+    let params = TgatParams::init(cfg, 2).unwrap();
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     World { data, graph, node_features, params }
@@ -46,7 +46,7 @@ fn cache_never_exceeds_its_limit_during_replay() {
     let mut eng = TgoptEngine::new(&w.params, w.ctx(), OptConfig::all().with_cache_limit(limit));
     for batch in BatchIter::new(&w.data.stream, 50) {
         let (ns, ts) = batch.targets();
-        let _ = eng.embed_batch(&ns, &ts);
+        let _ = eng.embed_batch(&ns, &ts).unwrap();
         assert!(eng.cache().len() <= limit, "cache overflow: {}", eng.cache().len());
     }
     assert!(eng.cache().total_evictions() > 0, "limit was never exercised");
@@ -60,7 +60,7 @@ fn hit_rate_grows_as_the_stream_progresses() {
     let mut prev = eng.counters();
     for batch in BatchIter::new(&w.data.stream, 200) {
         let (ns, ts) = batch.targets();
-        let _ = eng.embed_batch(&ns, &ts);
+        let _ = eng.embed_batch(&ns, &ts).unwrap();
         let now = eng.counters();
         per_batch.push(now.delta_since(&prev).hit_rate());
         prev = now;
@@ -84,7 +84,7 @@ fn unbounded_cache_reuse_dominates_on_jodie_like_data() {
         TgoptEngine::new(&w.params, w.ctx(), OptConfig::all().with_cache_limit(usize::MAX / 2));
     for batch in BatchIter::new(&w.data.stream, 200) {
         let (ns, ts) = batch.targets();
-        let _ = eng.embed_batch(&ns, &ts);
+        let _ = eng.embed_batch(&ns, &ts).unwrap();
     }
     let c = eng.counters();
     assert!(
@@ -104,7 +104,7 @@ fn smaller_cache_means_fewer_hits_but_same_results() {
         let mut checksum = 0.0f64;
         for batch in BatchIter::new(&w.data.stream, 100) {
             let (ns, ts) = batch.targets();
-            let h = eng.embed_batch(&ns, &ts);
+            let h = eng.embed_batch(&ns, &ts).unwrap();
             checksum += h.as_slice().iter().map(|&v| v as f64).sum::<f64>();
         }
         (eng.counters().hit_rate(), checksum)
@@ -124,7 +124,7 @@ fn uniform_sampling_disables_memoization_but_still_works() {
     assert!(!eng.memoization_active());
     for batch in BatchIter::new(&w.data.stream, 100) {
         let (ns, ts) = batch.targets();
-        let h = eng.embed_batch(&ns, &ts);
+        let h = eng.embed_batch(&ns, &ts).unwrap();
         assert!(h.all_finite());
     }
     assert_eq!(eng.counters().cache_lookups, 0);
@@ -138,7 +138,7 @@ fn time_window_hit_rate_is_high_on_bursty_data() {
     let mut eng = TgoptEngine::new(&w.params, w.ctx(), OptConfig::all());
     for batch in BatchIter::new(&w.data.stream, 100) {
         let (ns, ts) = batch.targets();
-        let _ = eng.embed_batch(&ns, &ts);
+        let _ = eng.embed_batch(&ns, &ts).unwrap();
     }
     let (hits, misses) = eng.time_cache_stats();
     assert!(hits + misses > 0);

@@ -15,7 +15,7 @@ use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 #[test]
 fn threads_sharing_a_cache_produce_correct_embeddings() {
     let spec = spec_by_name("snap-email").unwrap();
-    let data = generate(&spec, 0.01, 21);
+    let data = generate(&spec, 0.01, 21).unwrap();
     let cfg = TgatConfig {
         dim: 8,
         edge_dim: data.dim(),
@@ -24,7 +24,7 @@ fn threads_sharing_a_cache_produce_correct_embeddings() {
         n_heads: 2,
         n_neighbors: 4,
     };
-    let params = TgatParams::init(cfg, 3);
+    let params = TgatParams::init(cfg, 3).unwrap();
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let ctx = GraphContext {
@@ -70,8 +70,8 @@ fn threads_sharing_a_cache_produce_correct_embeddings() {
                     );
                     // Two passes: the second is served mostly from entries
                     // that *other* threads may have stored.
-                    let _ = eng.embed_batch(ns, ts);
-                    eng.embed_batch(ns, ts)
+                    let _ = eng.embed_batch(ns, ts).unwrap();
+                    eng.embed_batch(ns, ts).unwrap()
                 })
             })
             .collect();
@@ -89,7 +89,7 @@ fn threads_sharing_a_cache_produce_correct_embeddings() {
 #[test]
 fn shared_cache_under_tiny_limit_stays_bounded_and_correct() {
     let spec = spec_by_name("snap-msg").unwrap();
-    let data = generate(&spec, 0.05, 2);
+    let data = generate(&spec, 0.05, 2).unwrap();
     let cfg = TgatConfig {
         dim: 8,
         edge_dim: data.dim(),
@@ -98,7 +98,7 @@ fn shared_cache_under_tiny_limit_stays_bounded_and_correct() {
         n_heads: 2,
         n_neighbors: 4,
     };
-    let params = TgatParams::init(cfg, 3);
+    let params = TgatParams::init(cfg, 3).unwrap();
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let ctx = GraphContext {
@@ -127,7 +127,7 @@ fn shared_cache_under_tiny_limit_stays_bounded_and_correct() {
                     let mut sum = 0.0f64;
                     for batch in BatchIter::new(&data.stream, 100) {
                         let (ns, ts) = batch.targets();
-                        let h = eng.embed_batch(&ns, &ts);
+                        let h = eng.embed_batch(&ns, &ts).unwrap();
                         sum += h.as_slice().iter().map(|&v| v as f64).sum::<f64>();
                     }
                     sum

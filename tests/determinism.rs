@@ -12,7 +12,7 @@ use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
 fn full_replay(seed: u64, opt: Option<OptConfig>) -> Vec<f32> {
     let spec = spec_by_name("snap-email").unwrap();
-    let data = generate(&spec, 0.004, seed);
+    let data = generate(&spec, 0.004, seed).unwrap();
     let cfg = TgatConfig {
         dim: 8,
         edge_dim: data.dim(),
@@ -21,7 +21,7 @@ fn full_replay(seed: u64, opt: Option<OptConfig>) -> Vec<f32> {
         n_heads: 2,
         n_neighbors: 4,
     };
-    let params = TgatParams::init(cfg, seed);
+    let params = TgatParams::init(cfg, seed).unwrap();
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let ctx = GraphContext {
@@ -42,7 +42,7 @@ fn full_replay(seed: u64, opt: Option<OptConfig>) -> Vec<f32> {
             let mut eng = TgoptEngine::new(&params, ctx, opt);
             for batch in BatchIter::new(&data.stream, 100) {
                 let (ns, ts) = batch.targets();
-                out.extend_from_slice(eng.embed_batch(&ns, &ts).as_slice());
+                out.extend_from_slice(eng.embed_batch(&ns, &ts).unwrap().as_slice());
             }
         }
     }

@@ -19,9 +19,9 @@ fn tiny_cfg(edge_dim: usize) -> TgatConfig {
 /// output tensor elementwise.
 fn check_dataset(name: &str, opt: OptConfig, batch_size: usize) {
     let spec = all_specs().into_iter().find(|s| s.name == name).unwrap();
-    let data = generate(&spec, 0.002, 13);
+    let data = generate(&spec, 0.002, 13).unwrap();
     let cfg = tiny_cfg(data.dim());
-    let params = TgatParams::init(cfg, 5);
+    let params = TgatParams::init(cfg, 5).unwrap();
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let ctx = GraphContext {
@@ -34,7 +34,7 @@ fn check_dataset(name: &str, opt: OptConfig, batch_size: usize) {
     for batch in BatchIter::new(&data.stream, batch_size) {
         let (ns, ts) = batch.targets();
         let hb = base.embed_batch(&ns, &ts);
-        let ho = ours.embed_batch(&ns, &ts);
+        let ho = ours.embed_batch(&ns, &ts).unwrap();
         let diff = hb.max_abs_diff(&ho);
         assert!(
             diff < TOL,

@@ -16,9 +16,9 @@ fn cfg(edge_dim: usize) -> TgatConfig {
 #[test]
 fn additions_preserve_cached_results_and_reuse() {
     let spec = spec_by_name("snap-msg").unwrap();
-    let data = generate(&spec, 0.05, 9);
+    let data = generate(&spec, 0.05, 9).unwrap();
     let cfg = cfg(data.dim());
-    let params = TgatParams::init(cfg, 6);
+    let params = TgatParams::init(cfg, 6).unwrap();
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let edges = data.stream.edges();
     let split = edges.len() / 2;
@@ -33,7 +33,7 @@ fn additions_preserve_cached_results_and_reuse() {
 
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
-    let h_before = eng.embed_batch(&ns, &ts);
+    let h_before = eng.embed_batch(&ns, &ts).unwrap();
 
     // Grow the graph; carry the cache.
     let (cache, counters) = eng.into_cache();
@@ -43,7 +43,7 @@ fn additions_preserve_cached_results_and_reuse() {
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut eng = TgoptEngine::with_cache(&params, ctx, OptConfig::all(), cache, counters);
     let before = eng.counters();
-    let h_after = eng.embed_batch(&ns, &ts);
+    let h_after = eng.embed_batch(&ns, &ts).unwrap();
     let delta = eng.counters().delta_since(&before);
 
     // Same (node, t) targets: additions are screened out by t_j < t, so
@@ -60,9 +60,9 @@ fn additions_preserve_cached_results_and_reuse() {
 #[test]
 fn deletion_with_invalidation_matches_fresh_baseline() {
     let spec = spec_by_name("snap-email").unwrap();
-    let data = generate(&spec, 0.01, 9);
+    let data = generate(&spec, 0.01, 9).unwrap();
     let cfg = cfg(data.dim());
-    let params = TgatParams::init(cfg, 6);
+    let params = TgatParams::init(cfg, 6).unwrap();
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let mut graph = TemporalGraph::from_stream(&data.stream);
     let edges = data.stream.edges();
@@ -73,7 +73,7 @@ fn deletion_with_invalidation_matches_fresh_baseline() {
     // Warm the cache.
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
-    let _ = eng.embed_batch(&ns, &ts);
+    let _ = eng.embed_batch(&ns, &ts).unwrap();
 
     // Delete an edge whose endpoint is among the queried targets.
     let victim = *edges
@@ -90,7 +90,7 @@ fn deletion_with_invalidation_matches_fresh_baseline() {
     // the deleted interaction, so invalidating them restores correctness.
     eng.invalidate_node(victim.src);
     eng.invalidate_node(victim.dst);
-    let h_opt = eng.embed_batch(&ns, &ts);
+    let h_opt = eng.embed_batch(&ns, &ts).unwrap();
     let h_base = BaselineEngine::new(&params, ctx).embed_batch(&ns, &ts);
     assert!(
         h_opt.max_abs_diff(&h_base) < 1e-4,
@@ -104,7 +104,7 @@ fn deep_model_deletion_needs_multi_hop_invalidation() {
     // embed a deleted interaction; `invalidate_edge_deletion` handles the
     // hop expansion that per-endpoint invalidation misses.
     let spec = spec_by_name("snap-msg").unwrap();
-    let data = generate(&spec, 0.05, 12);
+    let data = generate(&spec, 0.05, 12).unwrap();
     let cfg3 = TgatConfig {
         dim: 8,
         edge_dim: data.dim(),
@@ -113,7 +113,7 @@ fn deep_model_deletion_needs_multi_hop_invalidation() {
         n_heads: 2,
         n_neighbors: 4,
     };
-    let params = TgatParams::init(cfg3, 6);
+    let params = TgatParams::init(cfg3, 6).unwrap();
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg3.dim);
     let mut graph = TemporalGraph::from_stream(&data.stream);
     let edges = data.stream.edges();
@@ -128,7 +128,7 @@ fn deep_model_deletion_needs_multi_hop_invalidation() {
 
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
-    let _ = eng.embed_batch(&ns, &ts);
+    let _ = eng.embed_batch(&ns, &ts).unwrap();
 
     let (cache, counters) = eng.into_cache();
     assert!(graph.delete_edge(victim.src, victim.dst, victim.eid));
@@ -137,7 +137,7 @@ fn deep_model_deletion_needs_multi_hop_invalidation() {
     let removed = eng.invalidate_edge_deletion(victim.src, victim.dst);
     assert!(removed > 0);
 
-    let h_opt = eng.embed_batch(&ns, &ts);
+    let h_opt = eng.embed_batch(&ns, &ts).unwrap();
     let h_base = BaselineEngine::new(&params, ctx).embed_batch(&ns, &ts);
     assert!(
         h_opt.max_abs_diff(&h_base) < 1e-4,
@@ -152,9 +152,9 @@ fn deletion_without_invalidation_can_go_stale() {
     // sampled neighborhood this can coincide, so pick the victim to be the
     // most recent interaction of a queried node.)
     let spec = spec_by_name("snap-msg").unwrap();
-    let data = generate(&spec, 0.05, 10);
+    let data = generate(&spec, 0.05, 10).unwrap();
     let cfg = cfg(data.dim());
-    let params = TgatParams::init(cfg, 8);
+    let params = TgatParams::init(cfg, 8).unwrap();
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let mut graph = TemporalGraph::from_stream(&data.stream);
     let edges = data.stream.edges();
@@ -167,13 +167,13 @@ fn deletion_without_invalidation_can_go_stale() {
 
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
-    let _ = eng.embed_batch(&ns, &ts);
+    let _ = eng.embed_batch(&ns, &ts).unwrap();
 
     let (cache, counters) = eng.into_cache();
     graph.delete_edge(victim.src, victim.dst, victim.eid);
     let ctx = GraphContext { graph: &graph, node_features: &node_features, edge_features: &data.edge_features };
     let mut stale = TgoptEngine::with_cache(&params, ctx, OptConfig::all(), cache, counters);
-    let h_stale = stale.embed_batch(&ns, &ts);
+    let h_stale = stale.embed_batch(&ns, &ts).unwrap();
     let h_fresh = BaselineEngine::new(&params, ctx).embed_batch(&ns, &ts);
 
     // The uncached top layer re-samples the mutated graph, but the cached
@@ -186,6 +186,6 @@ fn deletion_without_invalidation_can_go_stale() {
     // ...until the node is invalidated, which restores agreement.
     stale.invalidate_node(victim.src);
     stale.invalidate_node(victim.dst);
-    let h_repaired = stale.embed_batch(&ns, &ts);
+    let h_repaired = stale.embed_batch(&ns, &ts).unwrap();
     assert!(h_fresh.max_abs_diff(&h_repaired) < 1e-4);
 }

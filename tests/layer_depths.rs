@@ -12,7 +12,7 @@ use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
 fn run_depth(n_layers: usize, opt: OptConfig) -> (f64, f64, u64) {
     let spec = spec_by_name("jodie-mooc").unwrap();
-    let data = generate(&spec, 0.002, 19);
+    let data = generate(&spec, 0.002, 19).unwrap();
     let cfg = TgatConfig {
         dim: 8,
         edge_dim: data.dim(),
@@ -21,7 +21,7 @@ fn run_depth(n_layers: usize, opt: OptConfig) -> (f64, f64, u64) {
         n_heads: 2,
         n_neighbors: 4,
     };
-    let params = TgatParams::init(cfg, 6);
+    let params = TgatParams::init(cfg, 6).unwrap();
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let ctx = GraphContext {
@@ -39,7 +39,7 @@ fn run_depth(n_layers: usize, opt: OptConfig) -> (f64, f64, u64) {
         for batch in BatchIter::new(&data.stream, 100) {
             let (ns, ts) = batch.targets();
             let hb = base.embed_batch(&ns, &ts);
-            let ho = ours.embed_batch(&ns, &ts);
+            let ho = ours.embed_batch(&ns, &ts).unwrap();
             assert!(
                 hb.max_abs_diff(&ho) < 1e-4,
                 "{n_layers}-layer pass {pass} batch {} diverged",

@@ -1,0 +1,24 @@
+//! The static-analysis gate: `cargo test` fails on any lint finding, so a
+//! violation can't land without either fixing it or leaving an explicit
+//! `// lint: allow(<name>, <reason>)` annotation in the diff.
+//!
+//! The same analysis runs standalone as `cargo run -p tg-xtask -- lint`
+//! (add `--format json` for machine-readable output).
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = tg_xtask::lint_workspace(root).expect("lint walk failed");
+    assert!(
+        report.files_checked > 10,
+        "lint walked only {} files — scope lists are stale",
+        report.files_checked
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        tg_xtask::render_text(&report)
+    );
+}

@@ -76,7 +76,7 @@ proptest! {
             n_heads: 2,
             n_neighbors: s.k,
         };
-        let params = TgatParams::init(cfg, 3);
+        let params = TgatParams::init(cfg, 3).unwrap();
         let mut rng = init::seeded_rng(4);
         let node_features = init::normal(&mut rng, 12, cfg.dim, 0.5);
         let edge_features = init::normal(&mut rng, stream.len(), cfg.edge_dim, 0.5);
@@ -99,7 +99,7 @@ proptest! {
                 continue;
             }
             let hb = base.embed_batch(&ns[lo..hi], &ts[lo..hi]);
-            let ho = ours.embed_batch(&ns[lo..hi], &ts[lo..hi]);
+            let ho = ours.embed_batch(&ns[lo..hi], &ts[lo..hi]).unwrap();
             let diff = hb.max_abs_diff(&ho);
             prop_assert!(diff < 1e-4, "chunk {chunk}: diff {diff} with {:?}", s);
             prop_assert!(ho.all_finite());

@@ -12,7 +12,7 @@ use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 #[test]
 fn train_checkpoint_and_serve() {
     let spec = spec_by_name("jodie-mooc").unwrap();
-    let data = generate(&spec, 0.002, 17);
+    let data = generate(&spec, 0.002, 17).unwrap();
     let cfg = TgatConfig {
         dim: 8,
         edge_dim: data.dim(),
@@ -21,7 +21,7 @@ fn train_checkpoint_and_serve() {
         n_heads: 2,
         n_neighbors: 4,
     };
-    let mut params = TgatParams::init(cfg, 1);
+    let mut params = TgatParams::init(cfg, 1).unwrap();
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
 
     let tc = TrainConfig { epochs: 2, batch_size: 100, lr: 3e-3, train_frac: 0.8, seed: 2, ..Default::default() };
@@ -47,7 +47,7 @@ fn train_checkpoint_and_serve() {
     let ns: Vec<u32> = data.stream.edges().iter().take(30).map(|e| e.src).collect();
     let ts = vec![t; ns.len()];
     let hb = BaselineEngine::new(&loaded, ctx).embed_batch(&ns, &ts);
-    let ho = TgoptEngine::new(&loaded, ctx, OptConfig::all()).embed_batch(&ns, &ts);
+    let ho = TgoptEngine::new(&loaded, ctx, OptConfig::all()).embed_batch(&ns, &ts).unwrap();
     assert!(hb.max_abs_diff(&ho) < 1e-4, "trained-weight serving must agree across engines");
     assert!(hb.all_finite());
 }
@@ -69,7 +69,7 @@ fn training_loss_decreases_on_learnable_structure() {
     }
     let stream = tgopt_repro::graph::EdgeStream::new(&srcs, &dsts, &times);
     let cfg = TgatConfig { dim: 8, edge_dim: 8, time_dim: 8, n_layers: 2, n_heads: 2, n_neighbors: 4 };
-    let mut params = TgatParams::init(cfg, 3);
+    let mut params = TgatParams::init(cfg, 3).unwrap();
     let node_features = Tensor::zeros(stream.num_nodes(), cfg.dim);
     let mut rng = tgopt_repro::tensor::init::seeded_rng(5);
     let edge_features = tgopt_repro::tensor::init::normal(&mut rng, n_edges, cfg.edge_dim, 0.5);

@@ -12,7 +12,7 @@ use tgopt_repro::tgopt::{persist, OptConfig, TgoptEngine};
 #[test]
 fn snapshot_restore_continues_with_full_reuse() {
     let spec = spec_by_name("snap-email").unwrap();
-    let data = generate(&spec, 0.01, 31);
+    let data = generate(&spec, 0.01, 31).unwrap();
     let cfg = TgatConfig {
         dim: 8,
         edge_dim: data.dim(),
@@ -21,7 +21,7 @@ fn snapshot_restore_continues_with_full_reuse() {
         n_heads: 2,
         n_neighbors: 4,
     };
-    let params = TgatParams::init(cfg, 9);
+    let params = TgatParams::init(cfg, 9).unwrap();
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let ctx = GraphContext {
@@ -35,7 +35,7 @@ fn snapshot_restore_continues_with_full_reuse() {
     let mut ref_sums: Vec<f64> = Vec::new();
     for batch in BatchIter::new(&data.stream, 100) {
         let (ns, ts) = batch.targets();
-        let h = reference.embed_batch(&ns, &ts);
+        let h = reference.embed_batch(&ns, &ts).unwrap();
         ref_sums.push(h.as_slice().iter().map(|&v| v as f64).sum());
     }
 
@@ -44,7 +44,7 @@ fn snapshot_restore_continues_with_full_reuse() {
     let mut a = TgoptEngine::new(&params, ctx, OptConfig::all());
     for batch in BatchIter::new(&data.stream, 100).take(half) {
         let (ns, ts) = batch.targets();
-        let _ = a.embed_batch(&ns, &ts);
+        let _ = a.embed_batch(&ns, &ts).unwrap();
     }
     let path = std::env::temp_dir().join(format!("tgopt-warm-{}.bin", std::process::id()));
     persist::save(a.cache(), &path).unwrap();
@@ -64,7 +64,7 @@ fn snapshot_restore_continues_with_full_reuse() {
     );
     for (i, batch) in BatchIter::new(&data.stream, 100).enumerate().skip(half) {
         let (ns, ts) = batch.targets();
-        let h = b.embed_batch(&ns, &ts);
+        let h = b.embed_batch(&ns, &ts).unwrap();
         let sum: f64 = h.as_slice().iter().map(|&v| v as f64).sum();
         let drift = (sum - ref_sums[i]).abs() / ref_sums[i].abs().max(1.0);
         assert!(drift < 1e-9, "batch {i}: restored run diverged (drift {drift:.2e})");

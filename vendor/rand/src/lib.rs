@@ -1,0 +1,283 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! Provides `rngs::StdRng`, the `Rng`/`SeedableRng` traits and
+//! `rand::random`, backed by xoshiro256** seeded through SplitMix64. The
+//! stream differs from the real `StdRng` (ChaCha12); everything in this
+//! workspace only relies on *seed-determinism*, not on a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Pseudo-random generation methods. Implemented by [`rngs::StdRng`].
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of `T`'s standard distribution (`[0, 1)` for
+    /// floats, full range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(&mut || self.next_u64())
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>;
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// RNG types.
+pub mod rngs {
+    use super::*;
+
+    /// The workspace's standard seeded RNG (shim: xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) core: Xoshiro256,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { core: Xoshiro256::from_seed(seed) }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.core.next()
+        }
+
+        fn gen<T: Standard>(&mut self) -> T {
+            let core = &mut self.core;
+            T::sample_standard(&mut || core.next())
+        }
+
+        fn gen_range<T, R>(&mut self, range: R) -> T
+        where
+            T: SampleUniform,
+            R: SampleRange<T>,
+        {
+            range.sample_from(self)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+            unit_f64(self.next_u64()) < p
+        }
+    }
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    // 24 high bits -> [0, 1).
+    (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Types with a "standard" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one sample given a 64-bit entropy source.
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        unit_f64(bits())
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        unit_f32(bits())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        bits() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+                bits() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types uniformly sampleable from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample_between(rng: &mut rngs::StdRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(rng: &mut rngs::StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                assert!(lo < hi || (inclusive && lo <= hi), "empty sample range");
+                let span = (hi as u128).wrapping_sub(lo as u128)
+                    + if inclusive { 1 } else { 0 };
+                // Modulo bias is < 2^-64 per draw for the spans used here.
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                lo.wrapping_add(r)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(rng: &mut rngs::StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi || lo == hi, "empty sample range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between(rng: &mut rngs::StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi || lo == hi, "empty sample range");
+        lo + (hi - lo) * unit_f32(rng.next_u64())
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one sample from the range.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// One sample of `T`'s standard distribution from ambient entropy
+/// (system clock + a process-wide counter): NOT reproducible, used only
+/// for things like temp-file names in tests.
+pub fn random<T: Standard>() -> T {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let n = COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+    let mut core = Xoshiro256::from_seed(nanos ^ (n.rotate_left(32)) ^ std::process::id() as u64);
+    T::sample_standard(&mut || core.next())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f32 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&v));
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!(u >= f64::EPSILON && u < 1.0);
+            let i: usize = rng.gen_range(0..10);
+            assert!(i < 10);
+            let k: u64 = rng.gen_range(5u64..6);
+            assert_eq!(k, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn standard_samples_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+}

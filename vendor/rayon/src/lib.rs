@@ -1,0 +1,86 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The workspace only uses rayon's slice adapters (`par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut`) followed by standard
+//! iterator combinators. This shim maps each adapter to its sequential
+//! `std::slice` counterpart, so every call site compiles unchanged and
+//! produces identical results; it simply runs on one core. The engine code
+//! already guards its parallel paths behind batch-size thresholds, so
+//! semantics (and determinism tests) are unaffected.
+
+/// Sequential stand-ins for `rayon::prelude`.
+pub mod prelude {
+    /// `par_*` accessors on shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s parallel iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for parallel chunking.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// `par_*` accessors on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s mutable parallel iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for mutable parallel chunking.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Number of worker threads the real rayon pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential_results() {
+        let v = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+
+        let mut out = vec![0u32; 4];
+        out.par_chunks_mut(2).zip(v.par_chunks(2)).for_each(|(o, i)| {
+            o[0] = i[0];
+        });
+        assert_eq!(out, vec![1, 0, 3, 0]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+        assert!(super::current_num_threads() >= 1);
+    }
+}

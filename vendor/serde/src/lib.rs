@@ -1,0 +1,506 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Instead of serde's visitor-driven data model, this shim funnels every
+//! serialization through one dynamically-typed [`Value`] tree: a
+//! [`Serializer`] accepts a finished `Value`, a [`Deserializer`] hands one
+//! back. The public trait *signatures* mirror real serde closely enough
+//! that the workspace's hand-written impls (e.g. `Tensor`'s tuple codec)
+//! and `#[derive(Serialize, Deserialize)]` sites compile unchanged.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The dynamically-typed tree every (de)serialization passes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (negative values).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, `Vec`).
+    Seq(Vec<Value>),
+    /// Map with string keys, in insertion order (structs).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// The concrete error used by [`to_value`] / [`from_value`].
+#[derive(Clone, Debug)]
+pub struct ValueError {
+    msg: String,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError { msg: msg.to_string() }
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError { msg: msg.to_string() }
+    }
+}
+
+/// Serialization-side traits and errors.
+pub mod ser {
+    use std::fmt;
+
+    /// Error constraint for [`crate::Serializer`] implementations.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side traits and errors.
+pub mod de {
+    use std::fmt;
+
+    /// Error constraint for [`crate::Deserializer`] implementations.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can consume one [`Value`].
+pub trait Serializer: Sized {
+    /// What a successful serialization yields.
+    type Ok;
+    /// Serializer-specific error.
+    type Error: ser::Error;
+
+    /// Accepts the fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Deserializer-specific error.
+    type Error: de::Error;
+
+    /// Yields the value tree to decode from.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types expressible as a [`Value`].
+pub trait Serialize {
+    /// Feeds `self` to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from `deserializer`'s value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializable from any lifetime (all shim values are owned anyway).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A [`Serializer`] whose output *is* the [`Value`] tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// A [`Deserializer`] reading from an in-memory [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps an existing value for decoding.
+    pub fn new(value: Value) -> Self {
+        Self { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.value)
+    }
+}
+
+/// Serializes any `T` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any `T` out of a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Removes the named field from a decoded struct map (derive support).
+pub fn take_field<T: DeserializeOwned>(
+    fields: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, ValueError> {
+    let idx = fields
+        .iter()
+        .position(|(k, _)| k == name)
+        .ok_or_else(|| <ValueError as de::Error>::custom(format!("missing field `{name}`")))?;
+    let (_, v) = fields.swap_remove(idx);
+    from_value(v)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for the primitives and containers the workspace uses.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let value = if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // f32 -> f64 is exact, so JSON round-trips bit-for-bit.
+        serializer.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Null)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_values<S: Serializer, T: Serialize>(items: &[T]) -> Result<Vec<Value>, S::Error> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(to_value(item).map_err(<S::Error as ser::Error>::custom)?);
+    }
+    Ok(out)
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = seq_to_values::<S, T>(self)?;
+        serializer.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(<S::Error as ser::Error>::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+fn int_from_value<D: de::Error>(value: Value, what: &str) -> Result<i128, D> {
+    match value {
+        Value::U64(v) => Ok(v as i128),
+        Value::I64(v) => Ok(v as i128),
+        other => Err(D::custom(format!("expected {what}, found {}", other.kind()))),
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let raw = int_from_value::<D::Error>(deserializer.take_value()?, stringify!($t))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn float_from_value<D: de::Error>(value: Value) -> Result<f64, D> {
+    match value {
+        Value::F64(v) => Ok(v),
+        // Integral floats serialize without a decimal point; coerce back.
+        Value::U64(v) => Ok(v as f64),
+        Value::I64(v) => Ok(v as f64),
+        other => Err(D::custom(format!("expected float, found {}", other.kind()))),
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        float_from_value::<D::Error>(deserializer.take_value()?)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        // The f64 holds an exactly-representable f32, so this narrowing is
+        // exact for values written by this shim.
+        Ok(float_from_value::<D::Error>(deserializer.take_value()?)? as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Vec::into_boxed_slice)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(match it.next() {
+                                Some(v) => v,
+                                None => Value::Null,
+                            })
+                            .map_err(<D::Error as de::Error>::custom)?,
+                        )+))
+                    }
+                    Value::Seq(items) => Err(<D::Error as de::Error>::custom(format!(
+                        "expected sequence of length {}, found length {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(<D::Error as de::Error>::custom(format!(
+                        "expected sequence, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = to_value(&42usize).unwrap();
+        assert_eq!(from_value::<usize>(v).unwrap(), 42);
+        let v = to_value(&-3i64).unwrap();
+        assert_eq!(from_value::<i64>(v).unwrap(), -3);
+        let v = to_value(&1.5f32).unwrap();
+        assert_eq!(from_value::<f32>(v).unwrap(), 1.5);
+        let v = to_value(&"hi".to_string()).unwrap();
+        assert_eq!(from_value::<String>(v).unwrap(), "hi");
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let orig = (3usize, 2usize, vec![1.0f32, 2.0, 3.0]);
+        let v = to_value(&(orig.0, orig.1, &orig.2)).unwrap();
+        let back: (usize, usize, Vec<f32>) = from_value(v).unwrap();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn float_coerces_from_integer_value() {
+        assert_eq!(from_value::<f32>(Value::U64(2)).unwrap(), 2.0);
+        assert_eq!(from_value::<f64>(Value::I64(-2)).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn take_field_reports_missing() {
+        let mut fields = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(take_field::<u64>(&mut fields, "a").unwrap(), 1);
+        assert!(take_field::<u64>(&mut fields, "b").is_err());
+    }
+}

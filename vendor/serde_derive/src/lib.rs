@@ -1,0 +1,260 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls targeting the serde *shim*'s
+//! Value-based data model. Built without syn/quote: the item is parsed by
+//! walking raw `proc_macro::TokenTree`s and the impl is emitted as a
+//! formatted string re-parsed into a `TokenStream`. Supports exactly what
+//! this workspace derives: non-generic structs with named fields and
+//! non-generic enums with unit variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemKind {
+    /// Named-field struct; the strings are field names in declaration order.
+    Struct(Vec<String>),
+    /// Unit-variant enum; the strings are variant names.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives `serde::Serialize` via the shim's `Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_serialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_serialize(&item.name, variants),
+    };
+    code.parse().expect("serde_derive shim produced unparsable Serialize impl")
+}
+
+/// Derives `serde::Deserialize` via the shim's `Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_deserialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_deserialize(&item.name, variants),
+    };
+    code.parse().expect("serde_derive shim produced unparsable Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let keyword = expect_ident(&toks, &mut i);
+    if keyword != "struct" && keyword != "enum" {
+        panic!("serde shim derive supports only `struct` and `enum`, found `{keyword}`");
+    }
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic item `{name}`");
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive expects a braced body for `{name}`, found {other:?}"
+        ),
+    };
+    let kind = if keyword == "struct" {
+        ItemKind::Struct(parse_named_fields(body, &name))
+    } else {
+        ItemKind::Enum(parse_unit_variants(body, &name))
+    };
+    Item { name, kind }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    toks.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive expected an identifier, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream, item: &str) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde shim derive supports only named fields; \
+                 `{item}.{name}` is followed by {other:?}"
+            ),
+        }
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream, item: &str) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            other => panic!(
+                "serde shim derive supports only unit enum variants; \
+                 `{item}::{name}` is followed by {other:?}"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), \
+                 ::serde::to_value(&self.{f})\
+                 .map_err(<S::Error as ::serde::ser::Error>::custom)?));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+               -> ::core::result::Result<S::Ok, S::Error> {{\n\
+             let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                 ::std::vec::Vec::new();\n\
+             {pushes}\
+             ::serde::Serializer::serialize_value(serializer, ::serde::Value::Map(fields))\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
+    let takes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::take_field(&mut fields, \"{f}\")\
+                 .map_err(<D::Error as ::serde::de::Error>::custom)?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+               -> ::core::result::Result<Self, D::Error> {{\n\
+             match ::serde::Deserializer::take_value(deserializer)? {{\n\
+               ::serde::Value::Map(mut fields) => {{\n\
+                 let _ = &mut fields;\n\
+                 ::core::result::Result::Ok({name} {{ {takes} }})\n\
+               }}\n\
+               other => ::core::result::Result::Err(\n\
+                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                   \"expected map for struct {name}, found {{:?}}\", other))),\n\
+             }}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+               -> ::core::result::Result<S::Ok, S::Error> {{\n\
+             let variant = match self {{ {arms} }};\n\
+             ::serde::Serializer::serialize_value(\n\
+               serializer, ::serde::Value::Str(variant.to_string()))\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"))
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+               -> ::core::result::Result<Self, D::Error> {{\n\
+             match ::serde::Deserializer::take_value(deserializer)? {{\n\
+               ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {arms}\
+                 other => ::core::result::Result::Err(\n\
+                   <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                     \"unknown variant `{{}}` for enum {name}\", other))),\n\
+               }},\n\
+               other => ::core::result::Result::Err(\n\
+                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                   \"expected string for enum {name}, found {{:?}}\", other))),\n\
+             }}\n\
+           }}\n\
+         }}\n"
+    )
+}
