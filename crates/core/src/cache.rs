@@ -701,6 +701,21 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_is_zero_not_nan_on_fresh_cache() {
+        let cache = EmbedCache::new(10, 4);
+        assert_eq!(cache.total_lookups(), 0);
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert!(!cache.hit_rate().is_nan());
+        // One miss then one hit: rate becomes well-defined and exact.
+        let k = [pack_key(1, 1.0)];
+        let mut out = Tensor::zeros(1, 4);
+        let _ = cache.lookup(&k, &mut out, false).unwrap();
+        cache.store(&k, &Tensor::zeros(1, 4), false).unwrap();
+        let _ = cache.lookup(&k, &mut out, false).unwrap();
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn clear_and_bytes_used() {
         let cache = EmbedCache::new(10, 8);
         cache.store(&[pack_key(1, 1.0)], &Tensor::zeros(1, 8), false).unwrap();

@@ -142,6 +142,7 @@ mod tests {
             cache_stores: 100_000,
             recomputed: 100_000,
             dedup_removed: 0,
+            stores_skipped: 0,
         }
     }
 

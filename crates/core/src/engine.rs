@@ -31,6 +31,10 @@ pub struct EngineCounters {
     pub recomputed: u64,
     /// Duplicate targets removed by the dedup filter.
     pub dedup_removed: u64,
+    /// Recomputed embeddings *not* stored because the engine was in
+    /// degraded (store-skipping) mode — e.g. a serving layer's memory
+    /// budget was exceeded, so the cache serves lookups only.
+    pub stores_skipped: u64,
 }
 
 impl EngineCounters {
@@ -42,6 +46,19 @@ impl EngineCounters {
             cache_stores: self.cache_stores - earlier.cache_stores,
             recomputed: self.recomputed - earlier.recomputed,
             dedup_removed: self.dedup_removed - earlier.dedup_removed,
+            stores_skipped: self.stores_skipped - earlier.stores_skipped,
+        }
+    }
+
+    /// Elementwise sum (for aggregating per-worker counters).
+    pub fn merge(&self, other: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            cache_lookups: self.cache_lookups + other.cache_lookups,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_stores: self.cache_stores + other.cache_stores,
+            recomputed: self.recomputed + other.recomputed,
+            dedup_removed: self.dedup_removed + other.dedup_removed,
+            stores_skipped: self.stores_skipped + other.stores_skipped,
         }
     }
 
@@ -117,6 +134,7 @@ pub struct TgoptEngine<'a> {
     timecache: TimeCacheImpl,
     stats: OpStats,
     counters: EngineCounters,
+    store_enabled: bool,
 }
 
 impl<'a> TgoptEngine<'a> {
@@ -151,6 +169,7 @@ impl<'a> TgoptEngine<'a> {
             timecache,
             stats: OpStats::disabled(),
             counters: EngineCounters::default(),
+            store_enabled: true,
         }
     }
 
@@ -264,6 +283,22 @@ impl<'a> TgoptEngine<'a> {
     /// the configured sampling strategy).
     pub fn memoization_active(&self) -> bool {
         self.opt.enable_cache && self.sampler.strategy() == SamplingStrategy::MostRecent
+    }
+
+    /// Toggles degraded (store-skipping) mode: with stores disabled the
+    /// engine still *reads* the cache and still recomputes misses correctly,
+    /// but recomputed embeddings are not written back, so the cache stops
+    /// growing. Serving layers flip this when a memory budget is exceeded —
+    /// degrading throughput instead of failing requests. Skipped writes are
+    /// counted in [`EngineCounters::stores_skipped`]. Always safe: skipping
+    /// a store never changes any returned embedding.
+    pub fn set_store_enabled(&mut self, enabled: bool) {
+        self.store_enabled = enabled;
+    }
+
+    /// True unless degraded (store-skipping) mode is active.
+    pub fn store_enabled(&self) -> bool {
+        self.store_enabled
     }
 
     /// Computes final-layer temporal embeddings for `(ns[i], ts[i])` targets.
@@ -382,11 +417,15 @@ impl<'a> TgoptEngine<'a> {
             });
 
             if let Some(cache) = cache_l {
-                let miss_keys: Vec<u64> = miss_idx.iter().map(|&i| keys[i]).collect();
-                let parallel = self.opt.parallel_store;
-                self.stats
-                    .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel))?;
-                self.counters.cache_stores += miss_keys.len() as u64;
+                if self.store_enabled {
+                    let miss_keys: Vec<u64> = miss_idx.iter().map(|&i| keys[i]).collect();
+                    let parallel = self.opt.parallel_store;
+                    self.stats
+                        .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel))?;
+                    self.counters.cache_stores += miss_keys.len() as u64;
+                } else {
+                    self.counters.stores_skipped += miss_idx.len() as u64;
+                }
             }
             self.counters.recomputed += miss_idx.len() as u64;
 
@@ -546,6 +585,62 @@ mod tests {
         assert!(c.dedup_removed >= 2, "three identical targets leave two duplicates");
         assert!(c.recomputed > 0);
         assert!(c.hit_rate() >= 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_on_fresh_engine() {
+        // 0 lookups must yield 0.0, never 0/0 = NaN (a fresh engine's
+        // hit rate is printed by every bench binary before warm-up).
+        let c = EngineCounters::default();
+        assert_eq!(c.cache_lookups, 0);
+        assert_eq!(c.hit_rate(), 0.0);
+        assert!(!c.hit_rate().is_nan());
+    }
+
+    #[test]
+    fn degraded_mode_skips_stores_but_preserves_semantics() {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7).unwrap();
+        let (graph, nf, ef) = world(cfg, 12, 80);
+        let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+        let mut base = BaselineEngine::new(&params, ctx);
+        let mut eng = TgoptEngine::new(&params, ctx, OptConfig::all());
+        assert!(eng.store_enabled());
+        eng.set_store_enabled(false);
+        assert!(!eng.store_enabled());
+
+        let ns: Vec<NodeId> = vec![0, 1, 2, 0];
+        let ts: Vec<Time> = vec![50.0; 4];
+        let h = eng.embed_batch(&ns, &ts).unwrap();
+        let hb = base.embed_batch(&ns, &ts);
+        assert!(h.max_abs_diff(&hb) < 1e-4, "degraded mode must stay correct");
+
+        let c = eng.counters();
+        assert_eq!(c.cache_stores, 0, "no writes while degraded");
+        assert!(c.stores_skipped > 0, "skipped writes are counted");
+        assert!(eng.cache().is_empty(), "the cache must not grow while degraded");
+
+        // Re-enabling stores resumes cache population.
+        eng.set_store_enabled(true);
+        let _ = eng.embed_batch(&ns, &ts).unwrap();
+        assert!(!eng.cache().is_empty());
+        assert!(eng.counters().cache_stores > 0);
+    }
+
+    #[test]
+    fn counters_merge_and_delta_cover_all_fields() {
+        let a = EngineCounters {
+            cache_lookups: 5,
+            cache_hits: 3,
+            cache_stores: 2,
+            recomputed: 2,
+            dedup_removed: 1,
+            stores_skipped: 4,
+        };
+        let sum = a.merge(&a);
+        assert_eq!(sum.cache_lookups, 10);
+        assert_eq!(sum.stores_skipped, 8);
+        assert_eq!(sum.delta_since(&a), a);
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub enum TgError {
     /// A caller-supplied argument was out of range (e.g. a non-positive
     /// scale factor or cache capacity).
     InvalidArgument(String),
+
+    /// The serving layer's admission queue was full: the request was
+    /// rejected instead of queued so load sheds at the front door rather
+    /// than growing memory without bound (backpressure).
+    Overloaded {
+        /// Capacity of the queue that rejected the request.
+        capacity: usize,
+    },
+
+    /// A request's deadline expired before its embedding was computed; the
+    /// caller gets this error instead of a stale or partial tensor.
+    DeadlineExceeded,
 }
 
 impl TgError {
@@ -106,6 +118,10 @@ impl fmt::Display for TgError {
                 write!(f, "{context}: shape mismatch: expected {expected}, found {found}")
             }
             TgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TgError::Overloaded { capacity } => {
+                write!(f, "overloaded: serving queue full at capacity {capacity}")
+            }
+            TgError::DeadlineExceeded => write!(f, "deadline exceeded before completion"),
         }
     }
 }
@@ -144,6 +160,13 @@ mod tests {
         let e: TgError = io.into();
         assert!(e.to_string().contains("no such file"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn serving_errors_are_descriptive() {
+        let e = TgError::Overloaded { capacity: 128 };
+        assert!(e.to_string().contains("capacity 128"));
+        assert!(TgError::DeadlineExceeded.to_string().contains("deadline"));
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! The micro-batching server: admission queue → batcher → worker pool.
+//!
+//! Two execution modes share every line of batch-processing logic:
+//!
+//! * **Threaded** — a batcher thread pops waves off the bounded queue
+//!   (flushing on size or linger expiry) and hands them to a pool of
+//!   worker threads, each with its own [`TgoptEngine`] over one shared
+//!   [`LayerCaches`]. This is the production shape.
+//! * **Deterministic** — no threads. Requests accumulate in the queue and
+//!   [`TgServer::drain`] processes them on the caller's thread in exact
+//!   submission order with size-only flushing, so every scheduling
+//!   decision is reproducible under test.
+
+use crate::batch::{coalesce, Pending};
+use crate::queue::BoundedQueue;
+use crate::relock;
+use crate::request::{Request, Slot, Ticket};
+use crate::stats::{ServeCounters, ServeStats};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tg_error::TgError;
+use tg_graph::{NodeId, TemporalGraph, Time};
+use tg_tensor::Tensor;
+use tgat::engine::GraphContext;
+use tgat::TgatParams;
+use tgopt::{EngineCounters, LayerCaches, OptConfig, TgoptEngine};
+
+/// Everything a worker needs to build an engine: the model and the graph
+/// world it serves, owned in one place so threads can borrow from a shared
+/// [`Arc`].
+pub struct ModelBundle {
+    /// Trained TGAT parameters.
+    pub params: TgatParams,
+    /// The temporal graph being served.
+    pub graph: TemporalGraph,
+    /// `[num_nodes, dim]` static node features.
+    pub node_features: Tensor,
+    /// `[num_edges, edge_dim]` edge features.
+    pub edge_features: Tensor,
+}
+
+impl ModelBundle {
+    /// Validates feature shapes against the model configuration.
+    pub fn new(
+        params: TgatParams,
+        graph: TemporalGraph,
+        node_features: Tensor,
+        edge_features: Tensor,
+    ) -> Result<Self, TgError> {
+        if node_features.cols() != params.cfg.dim {
+            return Err(TgError::shape(
+                "ModelBundle node features",
+                format_args!("(_, {})", params.cfg.dim),
+                format_args!("{:?}", node_features.shape()),
+            ));
+        }
+        if edge_features.cols() != params.cfg.edge_dim {
+            return Err(TgError::shape(
+                "ModelBundle edge features",
+                format_args!("(_, {})", params.cfg.edge_dim),
+                format_args!("{:?}", edge_features.shape()),
+            ));
+        }
+        Ok(Self { params, graph, node_features, edge_features })
+    }
+
+    /// A borrow-view for engine construction.
+    pub fn context(&self) -> GraphContext<'_> {
+        GraphContext {
+            graph: &self.graph,
+            node_features: &self.node_features,
+            edge_features: &self.edge_features,
+        }
+    }
+}
+
+/// Serving-layer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Flush a micro-batch once this many requests have coalesced.
+    pub max_batch: usize,
+    /// Maximum time the batcher lingers waiting for a batch to fill
+    /// (threaded mode only; deterministic mode flushes on size alone).
+    pub linger: Duration,
+    /// Bound on queued-but-unbatched requests; beyond it submissions are
+    /// rejected with [`TgError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Worker threads in threaded mode.
+    pub workers: usize,
+    /// Cache payload budget: once `bytes_used()` reaches it, batches run
+    /// in degraded (store-skipping) mode instead of failing — so a budget
+    /// of 0 serves lookup-only from the start. The budget is soft by one
+    /// wave: the store that crosses it completes before degradation kicks
+    /// in.
+    pub memory_budget_bytes: Option<usize>,
+    /// Engine optimization settings (shared by every worker).
+    pub opt: OptConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            linger: Duration::from_micros(500),
+            queue_capacity: 1024,
+            workers: 2,
+            memory_budget_bytes: None,
+            opt: OptConfig::all(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder-style batch-size threshold.
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Builder-style linger timer.
+    pub fn with_linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Builder-style queue bound.
+    pub fn with_queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Builder-style worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Builder-style memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder-style engine options.
+    pub fn with_opt(mut self, opt: OptConfig) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    fn validate(&self) -> Result<(), TgError> {
+        if self.max_batch == 0 {
+            return Err(TgError::InvalidConfig("max_batch must be positive".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(TgError::InvalidConfig("queue_capacity must be positive".into()));
+        }
+        if self.workers == 0 {
+            return Err(TgError::InvalidConfig("workers must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// State shared by client handles, the batcher, and the workers.
+struct Shared {
+    bundle: Arc<ModelBundle>,
+    cfg: ServeConfig,
+    queue: BoundedQueue<Pending>,
+    cache: Arc<LayerCaches>,
+    counters: ServeCounters,
+    /// Engine counters merged in from exited workers / deterministic drains.
+    engine_counters: Mutex<EngineCounters>,
+}
+
+/// Runs one wave through `engine`: deadline filter → cross-request dedup →
+/// (possibly degraded) inference → per-request scatter. Every pending
+/// request in the wave is fulfilled exactly once before return.
+fn process_wave(engine: &mut TgoptEngine<'_>, wave: Vec<Pending>, shared: &Shared) {
+    let now = Instant::now();
+    let (live, expired): (Vec<Pending>, Vec<Pending>) =
+        wave.into_iter().partition(|p| !p.req.expired_at(now));
+    if !expired.is_empty() {
+        shared.counters.record_deadline(expired.len() as u64);
+        for p in expired {
+            p.slot.fulfill(Err(TgError::DeadlineExceeded));
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let targets: Vec<(NodeId, Time)> = live.iter().map(|p| (p.req.node, p.req.time)).collect();
+    let plan = coalesce(&targets);
+    let degraded = shared
+        .cfg
+        .memory_budget_bytes
+        .is_some_and(|budget| shared.cache.bytes_used() >= budget);
+    engine.set_store_enabled(!degraded);
+    shared.counters.record_batch(live.len() as u64, plan.ns.len() as u64, degraded);
+    match engine.embed_batch(&plan.ns, &plan.ts) {
+        Ok(h) => {
+            for (p, &row) in live.iter().zip(&plan.row_of) {
+                p.slot.fulfill(Ok(h.row(row).to_vec()));
+            }
+            shared.counters.record_completed(live.len() as u64);
+        }
+        Err(e) => {
+            // TgError is not Clone (it can wrap an io::Error), so waiters
+            // past the first receive the rendered message.
+            let msg = e.to_string();
+            let mut first = Some(e);
+            for p in &live {
+                match first.take() {
+                    Some(orig) => p.slot.fulfill(Err(orig)),
+                    None => p.slot.fulfill(Err(TgError::InvalidArgument(format!(
+                        "micro-batch failed: {msg}"
+                    )))),
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>) {
+    let bundle = Arc::clone(&shared.bundle);
+    let mut engine = TgoptEngine::with_cache(
+        &bundle.params,
+        bundle.context(),
+        shared.cfg.opt,
+        Arc::clone(&shared.cache),
+        EngineCounters::default(),
+    );
+    loop {
+        // The guard is scoped to the recv call: exactly one idle worker
+        // waits inside recv, the rest wait on the lock. Processing runs
+        // unlocked, so waves execute concurrently across workers.
+        let wave = match relock(rx.lock()).recv() {
+            Ok(wave) => wave,
+            Err(_) => break,
+        };
+        process_wave(&mut engine, wave, &shared);
+    }
+    let (_, counters) = engine.into_cache();
+    let mut total = relock(shared.engine_counters.lock());
+    *total = total.merge(&counters);
+}
+
+/// The micro-batching request server over one [`TgoptEngine`] world.
+pub struct TgServer {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    deterministic: bool,
+}
+
+impl TgServer {
+    fn shared_state(bundle: Arc<ModelBundle>, cfg: ServeConfig) -> Result<Arc<Shared>, TgError> {
+        cfg.validate()?;
+        let n_layers = bundle.params.cfg.n_layers;
+        let dim = bundle.params.cfg.dim;
+        let cache = Arc::new(LayerCaches::new(
+            n_layers,
+            cfg.opt.cache_last_layer,
+            cfg.opt.cache_limit.max(1),
+            dim,
+        ));
+        Ok(Arc::new(Shared {
+            bundle,
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            cfg,
+            cache,
+            counters: ServeCounters::default(),
+            engine_counters: Mutex::new(EngineCounters::default()),
+        }))
+    }
+
+    /// A single-threaded server: requests queue until [`TgServer::drain`]
+    /// processes them in submission order with size-only flushing. Every
+    /// scheduling decision is a pure function of the submit/drain sequence.
+    pub fn deterministic(bundle: Arc<ModelBundle>, cfg: ServeConfig) -> Result<Self, TgError> {
+        let shared = Self::shared_state(bundle, cfg)?;
+        Ok(Self { shared, batcher: None, workers: Vec::new(), deterministic: true })
+    }
+
+    /// A threaded server: one batcher thread plus `cfg.workers` inference
+    /// workers sharing a single memoization cache.
+    pub fn threaded(bundle: Arc<ModelBundle>, cfg: ServeConfig) -> Result<Self, TgError> {
+        let shared = Self::shared_state(bundle, cfg)?;
+        let (tx, rx) = mpsc::channel::<Vec<Pending>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(shared, rx))
+            })
+            .collect();
+        let batcher_shared = Arc::clone(&shared);
+        let batcher = std::thread::spawn(move || {
+            let (max, linger) = (batcher_shared.cfg.max_batch, batcher_shared.cfg.linger);
+            while let Some(wave) = batcher_shared.queue.pop_wave(max, linger) {
+                if tx.send(wave).is_err() {
+                    break;
+                }
+            }
+            // Dropping `tx` disconnects the channel; workers exit after
+            // draining every wave already sent.
+        });
+        Ok(Self { shared, batcher: Some(batcher), workers, deterministic: false })
+    }
+
+    /// Submits one query with no deadline.
+    pub fn submit(&self, node: NodeId, time: Time) -> Result<Ticket, TgError> {
+        self.submit_request(Request::new(node, time))
+    }
+
+    /// Submits one query that is only useful until `deadline`.
+    pub fn submit_with_deadline(
+        &self,
+        node: NodeId,
+        time: Time,
+        deadline: Instant,
+    ) -> Result<Ticket, TgError> {
+        self.submit_request(Request::new(node, time).with_deadline(deadline))
+    }
+
+    /// Submits a [`Request`]. An already-expired deadline is rejected here,
+    /// before consuming a queue slot; a full queue rejects with
+    /// [`TgError::Overloaded`] without blocking.
+    pub fn submit_request(&self, req: Request) -> Result<Ticket, TgError> {
+        if req.expired_at(Instant::now()) {
+            self.shared.counters.record_deadline(1);
+            return Err(TgError::DeadlineExceeded);
+        }
+        let slot = Slot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        match self.shared.queue.push(Pending { req, slot }) {
+            Ok(()) => {
+                self.shared.counters.record_submitted();
+                Ok(ticket)
+            }
+            Err(e) => {
+                if matches!(e, TgError::Overloaded { .. }) {
+                    self.shared.counters.record_overload();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits `ns[i], ts[i]` pairs in order; ticket `i` resolves to the
+    /// embedding row of query `i` (per-request row order is preserved no
+    /// matter how the batcher groups or dedups them).
+    pub fn submit_many(&self, ns: &[NodeId], ts: &[Time]) -> Result<Vec<Ticket>, TgError> {
+        if ns.len() != ts.len() {
+            return Err(TgError::InvalidArgument(format!(
+                "submit_many needs one timestamp per node: {} nodes vs {} times",
+                ns.len(),
+                ts.len()
+            )));
+        }
+        ns.iter().zip(ts).map(|(&n, &t)| self.submit(n, t)).collect()
+    }
+
+    /// Deterministic mode only: processes every queued request on the
+    /// calling thread, in submission order, flushing a micro-batch every
+    /// `max_batch` requests. Returns how many requests were processed.
+    pub fn drain(&self) -> Result<usize, TgError> {
+        if !self.deterministic {
+            return Err(TgError::InvalidArgument(
+                "drain() is only available on a deterministic server".into(),
+            ));
+        }
+        let mut items = self.shared.queue.drain_all();
+        let n = items.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let bundle = Arc::clone(&self.shared.bundle);
+        let counters = *relock(self.shared.engine_counters.lock());
+        let mut engine = TgoptEngine::with_cache(
+            &bundle.params,
+            bundle.context(),
+            self.shared.cfg.opt,
+            Arc::clone(&self.shared.cache),
+            counters,
+        );
+        while !items.is_empty() {
+            let tail = items.split_off(items.len().min(self.shared.cfg.max_batch));
+            process_wave(&mut engine, items, &self.shared);
+            items = tail;
+        }
+        let (_, counters) = engine.into_cache();
+        *relock(self.shared.engine_counters.lock()) = counters;
+        Ok(n)
+    }
+
+    /// Serving-layer counters (admission, batching, dedup, degradation).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Aggregated engine counters. In threaded mode, workers merge their
+    /// counters when they exit, so the full totals are visible after
+    /// [`TgServer::shutdown`]; deterministic drains publish immediately.
+    pub fn engine_counters(&self) -> EngineCounters {
+        *relock(self.shared.engine_counters.lock())
+    }
+
+    /// The memoization cache shared by every worker.
+    pub fn shared_cache(&self) -> Arc<LayerCaches> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Currently queued (admitted, unbatched) requests.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Drops every cached embedding of `node` — safe concurrently with
+    /// serving traffic (in-flight batches recompute on their next miss).
+    /// Returns how many entries were removed.
+    pub fn invalidate_node(&self, node: NodeId) -> usize {
+        self.shared.cache.invalidate_node(node)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.queue.close();
+        if self.deterministic {
+            // Flush the backlog so no ticket is left forever pending.
+            let _ = self.drain();
+        }
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops admissions, flushes every queued request, joins all threads,
+    /// and returns the final counters. (Dropping the server does the same
+    /// without returning stats.)
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close_and_join();
+        self.shared.counters.snapshot()
+    }
+}
+
+impl Drop for TgServer {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}

@@ -1,0 +1,164 @@
+//! Serving-layer counters: admission, batching, dedup, and degradation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters bumped by client handles, the batcher, and the
+/// workers. Read them through [`ServeCounters::snapshot`].
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    submitted: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    unique_rows: AtomicU64,
+    degraded_batches: AtomicU64,
+}
+
+impl ServeCounters {
+    /// Records one admitted request.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone: counters only grow; a snapshot is always consistent with
+    ///   some interleaving of recorded events.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed by the full admission queue.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone; never decremented.
+    pub fn record_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests rejected because their deadline expired.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone; never decremented.
+    pub fn record_deadline(&self, n: u64) {
+        self.rejected_deadline.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests completed with an embedding.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone; never decremented.
+    pub fn record_completed(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one executed micro-batch of `requests` requests that
+    /// coalesced to `unique` engine rows, run in (non-)degraded mode.
+    ///
+    /// # Invariants
+    ///
+    /// - `unique <= requests` (a batch never grows under dedup).
+    /// - All three batch counters move together, so ratios derived from a
+    ///   snapshot stay in `[0, 1]`.
+    pub fn record_batch(&self, requests: u64, unique: u64, degraded: bool) {
+        debug_assert!(unique <= requests);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(requests, Ordering::Relaxed);
+        self.unique_rows.fetch_add(unique, Ordering::Relaxed);
+        if degraded {
+            self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            unique_rows: self.unique_rows.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the serving layer's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests shed with [`tg_error::TgError::Overloaded`].
+    pub rejected_overload: u64,
+    /// Requests completed with [`tg_error::TgError::DeadlineExceeded`].
+    pub rejected_deadline: u64,
+    /// Requests completed with an embedding row.
+    pub completed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests that entered a micro-batch (post-deadline-filter).
+    pub batched_requests: u64,
+    /// Engine rows actually computed/looked up after cross-request dedup.
+    pub unique_rows: u64,
+    /// Micro-batches run in degraded (store-skipping) mode.
+    pub degraded_batches: u64,
+}
+
+impl ServeStats {
+    /// Fraction of batched requests eliminated by cross-request dedup
+    /// (0.0 when nothing has been batched — never NaN).
+    pub fn cross_dedup_ratio(&self) -> f64 {
+        if self.batched_requests == 0 {
+            0.0
+        } else {
+            1.0 - self.unique_rows as f64 / self.batched_requests as f64
+        }
+    }
+
+    /// Mean requests per executed micro-batch (0.0 before the first batch).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_zero_not_nan_when_fresh() {
+        let s = ServeStats::default();
+        assert_eq!(s.cross_dedup_ratio(), 0.0);
+        assert_eq!(s.mean_batch_size(), 0.0);
+        assert!(!s.cross_dedup_ratio().is_nan());
+    }
+
+    #[test]
+    fn counters_accumulate_into_snapshot() {
+        let c = ServeCounters::default();
+        c.record_submitted();
+        c.record_submitted();
+        c.record_overload();
+        c.record_deadline(1);
+        c.record_batch(4, 3, true);
+        c.record_batch(6, 3, false);
+        c.record_completed(10);
+        let s = c.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.rejected_overload, 1);
+        assert_eq!(s.rejected_deadline, 1);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.degraded_batches, 1);
+        assert!((s.cross_dedup_ratio() - 0.4).abs() < 1e-12);
+        assert!((s.mean_batch_size() - 5.0).abs() < 1e-12);
+    }
+}

@@ -26,8 +26,14 @@ use std::path::Path;
 /// (lossy-cast) — the library crates on the inference path. `tg-bench` is
 /// a harness (panicking with context is its job) and `tg-xtask` analyzes
 /// rather than serves, so neither is listed.
-pub const LIBRARY_CRATES: &[&str] =
-    &["crates/tensor", "crates/tgraph", "crates/tgat", "crates/core", "crates/datasets"];
+pub const LIBRARY_CRATES: &[&str] = &[
+    "crates/tensor",
+    "crates/tgraph",
+    "crates/tgat",
+    "crates/core",
+    "crates/datasets",
+    "crates/serve",
+];
 
 /// Hot-path files where SipHash maps are banned (L3): the §4 memoization,
 /// dedup, and time-encode caches, their key packing, and their snapshot
@@ -42,8 +48,13 @@ pub const HOT_HASH_FILES: &[&str] = &[
 
 /// Files holding shared cache state whose public mutators must document
 /// `# Invariants` (L4).
-pub const CACHE_STATE_FILES: &[&str] =
-    &["crates/core/src/cache.rs", "crates/core/src/timecache.rs", "crates/core/src/persist.rs"];
+pub const CACHE_STATE_FILES: &[&str] = &[
+    "crates/core/src/cache.rs",
+    "crates/core/src/timecache.rs",
+    "crates/core/src/persist.rs",
+    "crates/serve/src/queue.rs",
+    "crates/serve/src/stats.rs",
+];
 
 /// Outcome of a whole-workspace lint run.
 #[derive(Clone, Debug)]

@@ -5,7 +5,9 @@
 //! `DESIGN.md` for the system inventory.
 
 pub use tg_datasets as datasets;
+pub use tg_error as error;
 pub use tg_graph as graph;
+pub use tg_serve as serve;
 pub use tg_tensor as tensor;
 pub use tgat;
 pub use tgopt;
