@@ -234,6 +234,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>
         // The guard is scoped to the recv call: exactly one idle worker
         // waits inside recv, the rest wait on the lock. Processing runs
         // unlocked, so waves execute concurrently across workers.
+        // lint: allow(lock-across, rx exists only to make the !Sync Receiver shareable; the guard protects nothing else and no holder ever takes another lock)
         let wave = match relock(rx.lock()).recv() {
             Ok(wave) => wave,
             Err(_) => break,

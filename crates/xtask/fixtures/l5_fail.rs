@@ -1,0 +1,24 @@
+//! L5 fail fixture: `store` takes `fifo` then `state`, `drain` takes
+//! `state` then `fifo` — a lock-order cycle (flagged at both closing
+//! edges) — and `rebalance` holds two guards of the same `shards` lock
+//! (a self-edge).
+
+impl Cache {
+    pub fn store(&self) {
+        let mut fifo = self.fifo.lock();
+        let mut state = self.state.lock();
+        state.push(fifo.pop_front());
+    }
+
+    pub fn drain(&self) {
+        let mut state = self.state.lock();
+        let mut fifo = self.fifo.lock();
+        fifo.extend(state.drain(..));
+    }
+
+    pub fn rebalance(&self) {
+        let mut a = self.shards[0].write();
+        let mut b = self.shards[1].write();
+        b.extend(a.drain());
+    }
+}

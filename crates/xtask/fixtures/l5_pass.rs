@@ -1,0 +1,28 @@
+//! L5 pass fixture: every function that takes both locks takes `fifo`
+//! before `shards`, so the acquisition graph has one edge and no cycle.
+
+pub struct Cache {
+    fifo: Mutex<VecDeque<u64>>,
+    shards: [RwLock<FxHashMap<u64, Vec<f32>>>; 4],
+}
+
+impl Cache {
+    pub fn evict(&self) {
+        let mut fifo = self.fifo.lock();
+        let mut shard = self.shards[0].write();
+        if let Some(key) = fifo.pop_front() {
+            shard.remove(&key);
+        }
+    }
+
+    pub fn export(&self) -> Vec<u64> {
+        let fifo = self.fifo.lock();
+        let shard = self.shards[1].read();
+        fifo.iter().filter(|k| shard.contains_key(k)).copied().collect()
+    }
+
+    pub fn lookup(&self, key: u64) -> Option<Vec<f32>> {
+        let shard = self.shards[2].read();
+        shard.get(&key).cloned()
+    }
+}

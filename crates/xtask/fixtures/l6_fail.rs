@@ -1,0 +1,26 @@
+//! L6 fail fixture: a Relaxed store and a Relaxed load of the `closed`
+//! control flag with no justification (two findings), and a load-then-
+//! store on `count` that should be a single `compare_exchange` (one
+//! finding).
+
+pub struct Queue {
+    closed: AtomicBool,
+    count: AtomicUsize,
+}
+
+impl Queue {
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    pub fn reset_if_full(&self, cap: usize) {
+        let n = self.count.load(Ordering::Acquire);
+        if n >= cap {
+            self.count.store(0, Ordering::Release);
+        }
+    }
+}

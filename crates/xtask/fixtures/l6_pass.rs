@@ -1,0 +1,32 @@
+//! L6 pass fixture: the control flag uses Acquire/Release, the pure
+//! statistics counter is Relaxed (fine — no one branches on it
+//! cross-thread for correctness), and the one deliberate Relaxed read of
+//! a control flag carries a `relaxed-ok` justification.
+
+pub struct Queue {
+    closed: AtomicBool,
+    depth: AtomicUsize,
+}
+
+impl Queue {
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    pub fn is_closed_hint(&self) -> bool {
+        // relaxed-ok: advisory fast-path only; callers re-check under the lock
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    pub fn note_push(&self) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,16 @@
+//! L7 fail fixture: `run_once` holds the `plan` guard across
+//! `embed_batch` (serializing every other worker for the whole matmul),
+//! and `consume` blocks on channel `recv` while holding the `rx` guard.
+
+impl Worker {
+    pub fn run_once(&self) {
+        let guard = self.plan.lock();
+        self.engine.embed_batch(&guard.nodes, &guard.times);
+    }
+
+    pub fn consume(&self) {
+        let chan = self.rx.lock();
+        let wave = chan.recv();
+        self.handle(wave);
+    }
+}

@@ -1,0 +1,23 @@
+//! L7 pass fixture: expensive calls run only after every guard is dead —
+//! dropped explicitly, copied out of a statement temporary, or the call
+//! carries an `allow(lock-across)` annotation stating the invariant.
+
+impl Worker {
+    pub fn run_once(&self) {
+        let guard = self.plan.lock();
+        let batch = guard.next_batch();
+        drop(guard);
+        self.engine.embed_batch(&batch.nodes, &batch.times);
+    }
+
+    pub fn snapshot_depth(&self) -> usize {
+        let depth = *self.depth.lock();
+        std::fs::write("depth.txt", depth.to_string()).ok();
+        depth
+    }
+
+    pub fn consume(&self) {
+        let wave = self.rx.recv(); // lint: allow(lock-across, rx is not guarded here; single consumer by design)
+        self.handle(wave);
+    }
+}

@@ -1,0 +1,16 @@
+//! L8 fail fixture: `hits` is a pub atomic field (any caller can bump it
+//! past the merge path), and `hit_rate` reads two counters with separate
+//! loads — a torn snapshot whose ratio can leave [0, 1].
+
+pub struct Counters {
+    pub hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl Counters {
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        hits as f64 / lookups.max(1) as f64
+    }
+}

@@ -1,0 +1,23 @@
+//! L8 pass fixture: counters stay private; multi-counter reads go
+//! through `snapshot()` (exempt by name), and other getters either read
+//! one counter or delegate to the snapshot.
+
+pub struct Counters {
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl Counters {
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.lookups.load(Ordering::Relaxed))
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, lookups) = self.snapshot();
+        hits as f64 / lookups.max(1) as f64
+    }
+}

@@ -11,14 +11,19 @@
 //! [`source`] for the lexical model that keeps patterns from matching
 //! inside comments, strings, or `#[cfg(test)]` items.
 
+pub mod manifest;
 pub mod report;
 pub mod rules;
+pub mod scopes;
 pub mod source;
 
+pub use manifest::ConcurrencyManifest;
 pub use report::{render_json, render_text};
-pub use rules::{lint_source, Finding, Lint, Scope};
+pub use rules::{lint_source, lint_source_with, Finding, Lint, Scope};
 pub use source::SourceFile;
 
+use rules::{check_lock_graph, extract_lock_edges, LockEdge};
+use std::collections::BTreeSet;
 use std::io;
 use std::path::Path;
 
@@ -56,6 +61,16 @@ pub const CACHE_STATE_FILES: &[&str] = &[
     "crates/serve/src/stats.rs",
 ];
 
+/// Files holding cache/serve accounting state whose counters must be read
+/// through the `snapshot()`/`merge()` aggregation path (L8).
+pub const COUNTER_FILES: &[&str] = &[
+    "crates/core/src/cache.rs",
+    "crates/core/src/engine.rs",
+    "crates/serve/src/queue.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/stats.rs",
+];
+
 /// Outcome of a whole-workspace lint run.
 #[derive(Clone, Debug)]
 pub struct LintReport {
@@ -70,33 +85,86 @@ impl LintReport {
 }
 
 /// Lints every in-scope `.rs` file under `root` (the workspace root).
+///
+/// Coverage per crate in [`LIBRARY_CRATES`]:
+///
+/// * `src/` **including `src/bin/`** — full scope (L1–L4 per the file
+///   lists above, L6–L8 everywhere). A panicking `src/bin` target is still
+///   a panicking release artifact, so bins are no longer exempt.
+/// * `tests/` — concurrency lints only (L6, L7): panics are the harness's
+///   failure mechanism, but a guard held across a blocking call deadlocks
+///   CI just as hard in a test.
+/// * The root package's `tests/` (the workspace integration suite) gets
+///   the same concurrency-only treatment.
+///
+/// L5 is *not* run per file here: lock edges from every file of a crate
+/// (plus the root suite) are aggregated and the acquisition graph is
+/// checked once per crate, because the two halves of a cycle usually live
+/// in different files. Files reachable through two crate roots are linted
+/// once (paths are canonicalized and deduped).
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let manifest = manifest::load(root)?;
     let mut findings = Vec::new();
     let mut files_checked = 0usize;
+    let mut seen: BTreeSet<std::path::PathBuf> = BTreeSet::new();
+
+    // One graph unit per crate, plus one for the workspace-level
+    // integration suite (which exercises the same hot paths).
+    let mut units: Vec<(Vec<std::path::PathBuf>, Vec<std::path::PathBuf>)> = Vec::new();
     for krate in LIBRARY_CRATES {
-        let src_dir = root.join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        files.sort();
-        for path in files {
+        let mut src_files = Vec::new();
+        collect_rs_files(&root.join(krate).join("src"), &mut src_files)?;
+        let mut test_files = Vec::new();
+        collect_rs_files(&root.join(krate).join("tests"), &mut test_files)?;
+        units.push((src_files, test_files));
+    }
+    let mut root_tests = Vec::new();
+    collect_rs_files(&root.join("tests"), &mut root_tests)?;
+    units.push((Vec::new(), root_tests));
+
+    for (mut src_files, mut test_files) in units {
+        src_files.sort();
+        test_files.sort();
+        let mut edges: Vec<LockEdge> = Vec::new();
+        for (is_test_file, path) in src_files
+            .iter()
+            .map(|p| (false, p))
+            .chain(test_files.iter().map(|p| (true, p)))
+        {
+            let canonical = path.canonicalize().unwrap_or_else(|_| path.clone());
+            if !seen.insert(canonical) {
+                continue; // already linted via another crate root
+            }
             let rel = path
                 .strip_prefix(root)
-                .unwrap_or(&path)
+                .unwrap_or(path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let text = std::fs::read_to_string(&path)?;
-            let scope = Scope {
-                panic: true,
-                lossy_cast: true,
-                std_hash: HOT_HASH_FILES.contains(&rel.as_str()),
-                invariants: CACHE_STATE_FILES.contains(&rel.as_str()),
+            let scope = if is_test_file {
+                // Concurrency lints only; L5 edges are aggregated below.
+                Scope { atomics: true, lock_across: true, ..Scope::default() }
+            } else {
+                Scope {
+                    panic: true,
+                    lossy_cast: true,
+                    std_hash: HOT_HASH_FILES.contains(&rel.as_str()),
+                    invariants: CACHE_STATE_FILES.contains(&rel.as_str()),
+                    lock_order: false, // checked per crate, not per file
+                    atomics: true,
+                    lock_across: true,
+                    counters: COUNTER_FILES.contains(&rel.as_str()),
+                }
             };
+            let text = std::fs::read_to_string(path)?;
             let src = SourceFile::parse(rel, text);
-            findings.extend(lint_source(&src, scope));
+            findings.extend(lint_source_with(&src, scope, &manifest));
+            edges.extend(extract_lock_edges(&src));
             files_checked += 1;
         }
+        findings.extend(check_lock_graph(&edges, &manifest));
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.dedup();
     Ok(LintReport { findings, files_checked })
 }
 
@@ -107,10 +175,6 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
-            // `src/bin` targets are CLI surface, not library code.
-            if path.file_name().is_some_and(|n| n == "bin") {
-                continue;
-            }
             collect_rs_files(&path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -140,6 +204,10 @@ mod fixture_tests {
             lossy_cast: lint == Lint::LossyCast,
             std_hash: lint == Lint::StdHash,
             invariants: lint == Lint::MissingInvariants,
+            lock_order: lint == Lint::LockOrder,
+            atomics: lint == Lint::Atomics,
+            lock_across: lint == Lint::LockAcross,
+            counters: lint == Lint::UnguardedCounter,
         }
     }
 
@@ -192,8 +260,70 @@ mod fixture_tests {
     }
 
     #[test]
+    fn l5_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l5_pass.rs", scope_for(Lint::LockOrder)).len(), 0);
+    }
+
+    #[test]
+    fn l5_fail_fixture_fires_on_cycle_and_self_edge() {
+        let f = lint_fixture("l5_fail.rs", scope_for(Lint::LockOrder));
+        assert_eq!(f.len(), 3, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::LockOrder));
+        assert!(f.iter().filter(|x| x.message.contains("cycle")).count() == 2);
+        assert!(f.iter().any(|x| x.message.contains("two guards")));
+    }
+
+    #[test]
+    fn l6_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l6_pass.rs", scope_for(Lint::Atomics)).len(), 0);
+    }
+
+    #[test]
+    fn l6_fail_fixture_fires_on_relaxed_control_and_torn_rmw() {
+        let f = lint_fixture("l6_fail.rs", scope_for(Lint::Atomics));
+        assert_eq!(f.len(), 3, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::Atomics));
+        assert!(f.iter().any(|x| x.message.contains("compare_exchange")));
+    }
+
+    #[test]
+    fn l7_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l7_pass.rs", scope_for(Lint::LockAcross)).len(), 0);
+    }
+
+    #[test]
+    fn l7_fail_fixture_fires_on_guard_held_across_expensive_calls() {
+        let f = lint_fixture("l7_fail.rs", scope_for(Lint::LockAcross));
+        assert_eq!(f.len(), 2, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::LockAcross));
+    }
+
+    #[test]
+    fn l8_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l8_pass.rs", scope_for(Lint::UnguardedCounter)).len(), 0);
+    }
+
+    #[test]
+    fn l8_fail_fixture_fires_on_pub_field_and_torn_getter() {
+        let f = lint_fixture("l8_fail.rs", scope_for(Lint::UnguardedCounter));
+        assert_eq!(f.len(), 2, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::UnguardedCounter));
+        assert!(f.iter().any(|x| x.message.contains("pub atomic")));
+        assert!(f.iter().any(|x| x.message.contains("torn snapshot")));
+    }
+
+    #[test]
     fn fail_fixtures_fire_under_the_full_scope_too() {
-        for name in ["l1_fail.rs", "l2_fail.rs", "l3_fail.rs", "l4_fail.rs"] {
+        for name in [
+            "l1_fail.rs",
+            "l2_fail.rs",
+            "l3_fail.rs",
+            "l4_fail.rs",
+            "l5_fail.rs",
+            "l6_fail.rs",
+            "l7_fail.rs",
+            "l8_fail.rs",
+        ] {
             assert!(
                 !lint_fixture(name, Scope::all()).is_empty(),
                 "{name} should fail under Scope::all()"

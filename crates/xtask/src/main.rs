@@ -8,10 +8,19 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 Usage: cargo run -p tg-xtask -- lint [--format text|json] [--root PATH]
 
-Runs the repo's static-analysis suite (L1 panic, L2 lossy-cast, L3
-std-hash, L4 missing-invariants) over the workspace library crates.
-See DESIGN.md \"Error handling & lint policy\" for what each lint means
-and the `// lint: allow(<name>, <reason>)` escape hatch.";
+Runs the repo's static-analysis suite over the workspace library crates
+(src/, src/bin/, tests/) and the root integration suite:
+
+  L1 panic               L5 lock-order        (per-crate acquisition graph)
+  L2 lossy-cast          L6 atomics           (Relaxed control signals, torn RMW)
+  L3 std-hash            L7 lock-across       (guards held across expensive calls)
+  L4 missing-invariants  L8 unguarded-counter (accounting bypassing snapshot/merge)
+
+The canonical lock order and the control-atomics list live in
+concurrency.toml at the workspace root. See DESIGN.md \"Error handling &
+lint policy\" and \"Concurrency model\" for what each lint means and the
+`// lint: allow(<name>, <reason>)` / `// relaxed-ok: <reason>` escape
+hatches.";
 
 enum Format {
     Text,

@@ -1,0 +1,294 @@
+//! **L6 `atomics`** — the atomics audit.
+//!
+//! Two failure shapes, both invisible to `cargo test` on x86 (which gives
+//! acquire/release for free) and both real on weaker architectures:
+//!
+//! 1. **Relaxed control signals.** `Ordering::Relaxed` guarantees
+//!    atomicity but no ordering: a thread observing `closed == true` may
+//!    not observe writes that happened before the flag flip. That is fine
+//!    for statistics counters, but a flag another thread reads *to decide
+//!    behavior* (shutdown, degraded mode) wants `Acquire`/`Release` — or
+//!    an explicit `// relaxed-ok: <invariant>` stating why Relaxed is
+//!    sufficient (e.g. the flag is advisory and the data it gates is
+//!    protected by a lock). Control atomics are every `AtomicBool` plus
+//!    the `[atomics] control` list in `concurrency.toml`.
+//! 2. **Load-then-store.** A `load` followed by a `store` on the same
+//!    atomic in one function is a read-modify-write spelled as two
+//!    non-atomic halves: a concurrent writer between them is lost. Use
+//!    `fetch_*`/`compare_exchange` (or justify with
+//!    `// lint: allow(atomics, <why the race is benign>)`).
+
+use super::{bounded_matches, is_ident_byte, Finding, Lint};
+use crate::manifest::ConcurrencyManifest;
+use crate::scopes::{analyze_fns, receiver_name};
+use crate::source::SourceFile;
+
+/// A declared atomic field/static/local: `name: AtomicBool` etc.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct AtomicDecl {
+    name: String,
+    ty: String,
+}
+
+pub(crate) fn lint_atomics(
+    src: &SourceFile,
+    manifest: &ConcurrencyManifest,
+    out: &mut Vec<Finding>,
+) {
+    let decls = atomic_decls(src);
+    let is_control = |name: &str| {
+        manifest.is_control(name)
+            || decls.iter().any(|d| d.name == name && d.ty == "AtomicBool")
+    };
+    let is_atomic = |name: &str| manifest.is_control(name) || decls.iter().any(|d| d.name == name);
+
+    // 1. Relaxed orderings on control atomics.
+    for op in [".load(", ".store("] {
+        for at in ops_on_atomics(src, op) {
+            let name = receiver_name(&src.code, at);
+            if !is_control(&name) {
+                continue;
+            }
+            let line = src.line_of(at);
+            // `relaxed-ok` may sit on the operation's line or on its own
+            // line directly above (the operation line is often full).
+            if src.is_test_line(line)
+                || src.is_allowed(line, Lint::Atomics.name())
+                || src.has_relaxed_ok(line)
+                || src.has_relaxed_ok(line.saturating_sub(1))
+            {
+                continue;
+            }
+            out.push(Finding {
+                lint: Lint::Atomics,
+                file: src.path.clone(),
+                line,
+                message: format!(
+                    "`Ordering::Relaxed` on control atomic `{name}` (read cross-thread as \
+                     a signal); use Acquire/Release or justify with `// relaxed-ok: \
+                     <invariant>`"
+                ),
+            });
+        }
+    }
+
+    // 2. Load-then-store on the same atomic within one function.
+    for scope in analyze_fns(src) {
+        let (open, close) = scope.body;
+        let body = &src.code[open..=close.min(src.code.len() - 1)];
+        let loads = atomic_op_sites(body, ".load(", open, &is_atomic);
+        let stores = atomic_op_sites(body, ".store(", open, &is_atomic);
+        for (store_at, store_name) in &stores {
+            let Some((load_at, _)) =
+                loads.iter().find(|(la, ln)| la < store_at && ln == store_name)
+            else {
+                continue;
+            };
+            let line = src.line_of(*store_at);
+            let load_line = src.line_of(*load_at);
+            if src.is_test_line(line)
+                || src.is_allowed(line, Lint::Atomics.name())
+                || src.is_allowed(load_line, Lint::Atomics.name())
+            {
+                continue;
+            }
+            out.push(Finding {
+                lint: Lint::Atomics,
+                file: src.path.clone(),
+                line,
+                message: format!(
+                    "`{store_name}.store(...)` after `{store_name}.load(...)` (line \
+                     {load_line}) in `{}` is a torn read-modify-write; use \
+                     `fetch_*`/`compare_exchange`",
+                    scope.name
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out.dedup();
+}
+
+/// Offsets of `op` calls whose argument list mentions `Relaxed`.
+fn ops_on_atomics<'a>(src: &'a SourceFile, op: &'a str) -> impl Iterator<Item = usize> + 'a {
+    src.code.match_indices(op).filter_map(move |(at, _)| {
+        let args_open = at + op.len() - 1;
+        let args = paren_args(&src.code, args_open)?;
+        args.contains("Relaxed").then_some(at)
+    })
+}
+
+/// `(offset, receiver)` of every `op` call on a declared atomic in `body`
+/// (offsets rebased to the file via `base`).
+fn atomic_op_sites(
+    body: &str,
+    op: &str,
+    base: usize,
+    is_atomic: &dyn Fn(&str) -> bool,
+) -> Vec<(usize, String)> {
+    body.match_indices(op)
+        .filter_map(|(at, _)| {
+            let name = receiver_name(body, at);
+            is_atomic(&name).then_some((base + at, name))
+        })
+        .collect()
+}
+
+/// The text between the `(` at `open` and its matching `)`.
+fn paren_args(code: &str, open: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    if bytes.get(open) != Some(&b'(') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open + 1..open + j]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Every `name: AtomicXxx` declaration in the file (fields, statics, and
+/// locals alike — over-collecting is safe, the rules only use the map to
+/// recognize receivers).
+fn atomic_decls(src: &SourceFile) -> Vec<AtomicDecl> {
+    let code = &src.code;
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for at in bounded_matches(code, "Atomic") {
+        let ty: String =
+            code[at..].bytes().take_while(|&b| is_ident_byte(b)).map(char::from).collect();
+        if !matches!(
+            ty.as_str(),
+            "AtomicBool"
+                | "AtomicUsize"
+                | "AtomicIsize"
+                | "AtomicU8"
+                | "AtomicU16"
+                | "AtomicU32"
+                | "AtomicU64"
+                | "AtomicI8"
+                | "AtomicI16"
+                | "AtomicI32"
+                | "AtomicI64"
+        ) {
+            continue;
+        }
+        // Walk back over whitespace to a `:`; the ident before it is the
+        // declared name. (`Mutex<AtomicBool>`-style nesting has no `:`
+        // directly before the type and is skipped.)
+        let mut i = at;
+        while i > 0 && (bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') {
+            i -= 1;
+        }
+        if i == 0 || bytes[i - 1] != b':' {
+            continue;
+        }
+        i -= 1;
+        while i > 0 && (bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') {
+            i -= 1;
+        }
+        let end = i;
+        while i > 0 && is_ident_byte(bytes[i - 1]) {
+            i -= 1;
+        }
+        if i == end {
+            continue;
+        }
+        let name = code[i..end].to_string();
+        let decl = AtomicDecl { name, ty };
+        if !out.contains(&decl) {
+            out.push(decl);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ConcurrencyManifest;
+    use crate::rules::{lint_source, lint_source_with, Scope};
+
+    fn scope() -> Scope {
+        Scope { atomics: true, ..Default::default() }
+    }
+
+    #[test]
+    fn relaxed_counter_is_not_a_finding() {
+        let src = "struct C { hits: AtomicU64 }\nimpl C {\n    fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }\n    fn get(&self) -> u64 { self.hits.load(Ordering::Relaxed) }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_bool_flag_is_flagged_without_relaxed_ok() {
+        let src = "struct Q { closed: AtomicBool }\nimpl Q {\n    fn is_closed(&self) -> bool { self.closed.load(Ordering::Relaxed) }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("control atomic `closed`"));
+    }
+
+    #[test]
+    fn relaxed_ok_with_reason_suppresses() {
+        let src = "struct Q { closed: AtomicBool }\nimpl Q {\n    fn is_closed(&self) -> bool { self.closed.load(Ordering::Relaxed) } // relaxed-ok: advisory; state is lock-protected\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_relaxed_ok_without_reason_does_not_suppress() {
+        let src = "struct Q { closed: AtomicBool }\nimpl Q {\n    fn is_closed(&self) -> bool { self.closed.load(Ordering::Relaxed) } // relaxed-ok:\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert_eq!(f.len(), 1, "a reason is mandatory: {f:?}");
+    }
+
+    #[test]
+    fn manifest_control_list_extends_beyond_bools() {
+        let manifest = ConcurrencyManifest {
+            lock_order: vec![],
+            control_atomics: vec!["epoch".to_string()],
+        };
+        let src = "struct C { epoch: AtomicU64 }\nimpl C {\n    fn now(&self) -> u64 { self.epoch.load(Ordering::Relaxed) }\n}\n";
+        let f = lint_source_with(&SourceFile::parse("t.rs", src), scope(), &manifest);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn acquire_release_on_control_flag_is_clean() {
+        let src = "struct Q { closed: AtomicBool }\nimpl Q {\n    fn close(&self) { self.closed.store(true, Ordering::Release); }\n    fn is_closed(&self) -> bool { self.closed.load(Ordering::Acquire) }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn load_then_store_is_a_torn_rmw_finding() {
+        let src = "struct C { count: AtomicUsize }\nimpl C {\n    fn reset_if_big(&self) {\n        let c = self.count.load(Ordering::Acquire);\n        if c > 10 { self.count.store(0, Ordering::Release); }\n    }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("compare_exchange"));
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn store_without_prior_load_is_clean() {
+        let src = "struct C { count: AtomicUsize }\nimpl C {\n    fn clear(&self) { self.count.store(0, Ordering::Relaxed); }\n    fn len(&self) -> usize { self.count.load(Ordering::Relaxed) }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_atomic_load_store_pairs_are_ignored() {
+        let src = "fn f(io: &mut W) {\n    let x = io.load(Ordering::Relaxed);\n    io.store(x, Ordering::Relaxed);\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "receiver `io` is not a declared atomic: {f:?}");
+    }
+}

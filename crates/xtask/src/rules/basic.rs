@@ -1,114 +1,19 @@
-//! The four repo-specific lints (see DESIGN.md "Error handling & lint
-//! policy").
+//! The line-oriented policy lints L1–L4 (see the [`super`] docs for the
+//! full rule listing and DESIGN.md "Error handling & lint policy" for the
+//! rationale).
 //!
-//! - **L1 `panic`** — no `.unwrap()` / `.expect(...)` / `panic!` /
-//!   `unreachable!` / `todo!` / `unimplemented!` in non-test library code.
-//!   `assert!` / `assert_eq!` / `debug_assert!` remain allowed: they state
-//!   caller contracts, not unhandled error paths.
-//! - **L2 `lossy-cast`** — no narrowing numeric casts. `as f32` and
-//!   `as u32` always narrow from this workspace's wider arithmetic types
-//!   (usize / u64 / f64) and are always flagged; `as usize` is flagged only
-//!   when the source is float-like (a `.round()`-style chain or one of the
-//!   repo's conventional f32 timestamp names). Widening or same-width casts
-//!   (`as f64`, `as u64`, `u32 as usize`) are not findings.
-//! - **L3 `std-hash`** — hot-path files must use `FxHashMap` /
-//!   `FxHashSet`, never SipHash `std::collections::HashMap` / `HashSet`.
-//!   The `std::collections::hash_map::Entry` API is fine: it is an accessor
-//!   type, not a hasher choice.
-//! - **L4 `missing-invariants`** — every `pub fn` that mutates shared
-//!   cache state must carry an `# Invariants` doc section. Mutation is
-//!   detected as a `&mut self` receiver or a body that takes a write lock
-//!   (`.write()`) or bumps shared counters (`.fetch_add(` / `.fetch_sub(`).
-//!
-//! Every lint honors a same-line `// lint: allow(<name>[, reason])` escape
-//! hatch and skips `#[cfg(test)]` items.
+//! L2 details worth keeping next to the code: `as f32` and `as u32` always
+//! narrow from this workspace's wider arithmetic types (usize / u64 / f64)
+//! and are always flagged; `as usize` is flagged only when the source is
+//! float-like (a `.round()`-style chain or one of the repo's conventional
+//! f32 timestamp names). Widening or same-width casts are not findings.
+//! For L3, the `std::collections::hash_map::Entry` API is fine: it is an
+//! accessor type, not a hasher choice. For L4, mutation is detected as a
+//! `&mut self` receiver or a body that takes a write lock (`.write()`) or
+//! bumps shared counters (`.fetch_add(` / `.fetch_sub(`).
 
+use super::{bounded_matches, is_ident_byte, Finding, Lint};
 use crate::source::SourceFile;
-
-/// Which lint produced a finding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Lint {
-    Panic,
-    LossyCast,
-    StdHash,
-    MissingInvariants,
-}
-
-impl Lint {
-    /// The name used in `// lint: allow(...)` annotations and JSON output.
-    pub fn name(self) -> &'static str {
-        match self {
-            Lint::Panic => "panic",
-            Lint::LossyCast => "lossy-cast",
-            Lint::StdHash => "std-hash",
-            Lint::MissingInvariants => "missing-invariants",
-        }
-    }
-}
-
-/// One lint violation.
-#[derive(Clone, Debug)]
-pub struct Finding {
-    pub lint: Lint,
-    pub file: String,
-    pub line: usize,
-    pub message: String,
-}
-
-/// Which lints apply to a given file (decided by the workspace walker from
-/// the file's crate and path).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Scope {
-    pub panic: bool,
-    pub lossy_cast: bool,
-    pub std_hash: bool,
-    pub invariants: bool,
-}
-
-impl Scope {
-    pub fn all() -> Self {
-        Self { panic: true, lossy_cast: true, std_hash: true, invariants: true }
-    }
-}
-
-/// Runs every in-scope lint over one parsed file.
-pub fn lint_source(src: &SourceFile, scope: Scope) -> Vec<Finding> {
-    let mut out = Vec::new();
-    if scope.panic {
-        lint_panic(src, &mut out);
-    }
-    if scope.lossy_cast {
-        lint_lossy_cast(src, &mut out);
-    }
-    if scope.std_hash {
-        lint_std_hash(src, &mut out);
-    }
-    if scope.invariants {
-        lint_invariants(src, &mut out);
-    }
-    out
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Offsets of every occurrence of `needle` in `hay` where the preceding
-/// byte is not part of an identifier (word-boundary on the left).
-fn bounded_matches<'a>(hay: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
-    let bytes = hay.as_bytes();
-    let mut from = 0;
-    std::iter::from_fn(move || {
-        while let Some(pos) = hay[from..].find(needle) {
-            let at = from + pos;
-            from = at + 1;
-            if at == 0 || !is_ident_byte(bytes[at - 1]) {
-                return Some(at);
-            }
-        }
-        None
-    })
-}
 
 // --- L1: panic -------------------------------------------------------------
 
@@ -121,7 +26,7 @@ const PANIC_PATTERNS: &[(&str, &str)] = &[
     ("unimplemented!", "`unimplemented!` must not ship in library code"),
 ];
 
-fn lint_panic(src: &SourceFile, out: &mut Vec<Finding>) {
+pub(crate) fn lint_panic(src: &SourceFile, out: &mut Vec<Finding>) {
     for &(pattern, message) in PANIC_PATTERNS {
         for at in bounded_matches(&src.code, pattern) {
             let line = src.line_of(at);
@@ -149,7 +54,7 @@ const FLOAT_METHODS: &[&str] = &["round()", "floor()", "ceil()", "trunc()", "sqr
 /// type is not spelled at the cast site.
 const FLOAT_IDENTS: &[&str] = &["dt", "ts", "time", "t"];
 
-fn lint_lossy_cast(src: &SourceFile, out: &mut Vec<Finding>) {
+pub(crate) fn lint_lossy_cast(src: &SourceFile, out: &mut Vec<Finding>) {
     for at in bounded_matches(&src.code, "as") {
         let bytes = src.code.as_bytes();
         let after = at + 2;
@@ -212,7 +117,7 @@ fn source_is_float_like(before: &str) -> bool {
 
 // --- L3: std-hash ----------------------------------------------------------
 
-fn lint_std_hash(src: &SourceFile, out: &mut Vec<Finding>) {
+pub(crate) fn lint_std_hash(src: &SourceFile, out: &mut Vec<Finding>) {
     const PREFIX: &str = "std::collections::";
     for at in bounded_matches(&src.code, PREFIX) {
         let rest = &src.code[at + PREFIX.len()..];
@@ -257,7 +162,7 @@ fn lint_std_hash(src: &SourceFile, out: &mut Vec<Finding>) {
 /// Tokens in a `pub fn` that mark it as mutating shared cache state.
 const MUTATION_TOKENS: &[&str] = &[".write()", ".fetch_add(", ".fetch_sub("];
 
-fn lint_invariants(src: &SourceFile, out: &mut Vec<Finding>) {
+pub(crate) fn lint_invariants(src: &SourceFile, out: &mut Vec<Finding>) {
     let bytes = src.code.as_bytes();
     for at in bounded_matches(&src.code, "pub fn ") {
         let line = src.line_of(at);
@@ -347,6 +252,7 @@ fn doc_block_has_invariants(src: &SourceFile, fn_line: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::{lint_source, Scope};
 
     fn findings(src: &str, scope: Scope) -> Vec<Finding> {
         lint_source(&SourceFile::parse("t.rs", src), scope)

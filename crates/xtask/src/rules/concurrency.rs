@@ -1,0 +1,256 @@
+//! **L5 `lock-order`** and **L7 `lock-across`** — the two rules built on
+//! the [`crate::scopes`] guard-liveness walker.
+//!
+//! L5 builds a lock-acquisition graph: an edge `a -> b` means some
+//! function acquires lock `b` while a guard on lock `a` is live. The
+//! graph must be acyclic (a cycle is a latent deadlock: two threads can
+//! enter the cycle from different edges) and must not contradict the
+//! canonical order declared in `concurrency.toml` (`order = [...]`,
+//! outermost first). Edges are extracted per file but *checked per
+//! crate* by the workspace walker, because the two halves of a cycle
+//! usually live in different files.
+//!
+//! L7 flags any expensive or blocking call (see
+//! [`crate::scopes::EXPENSIVE_CALLS`]) executed while a guard is live:
+//! holding a lock across `embed_batch`, a matmul, channel `recv`, or
+//! file I/O serializes the hot path (and a blocking call under a lock is
+//! one wait-cycle away from deadlock). Deliberate exceptions carry
+//! `// lint: allow(lock-across, <invariant>)` on the call line.
+
+use super::{Finding, Lint};
+use crate::manifest::ConcurrencyManifest;
+use crate::scopes::{analyze_fns, Event};
+use crate::source::SourceFile;
+
+/// One observed "acquired `to` while holding `from`" fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock being acquired.
+    pub to: String,
+    /// File the acquisition happens in.
+    pub file: String,
+    /// 1-based acquisition line.
+    pub line: usize,
+    /// Line of the `from` guard's acquisition (for diagnostics).
+    pub from_line: usize,
+}
+
+/// Extracts every lock-acquisition edge from one file. An acquisition
+/// carrying `// lint: allow(lock-order, ...)` on its line contributes no
+/// edges (the annotation vouches for that site, e.g. an ordered
+/// two-shard lock).
+pub fn extract_lock_edges(src: &SourceFile) -> Vec<LockEdge> {
+    let mut edges = Vec::new();
+    for scope in analyze_fns(src) {
+        for event in &scope.events {
+            let Event::Acquire { lock, line, held } = event else { continue };
+            if src.is_test_line(*line) || src.is_allowed(*line, Lint::LockOrder.name()) {
+                continue;
+            }
+            for (from, from_line) in held {
+                let edge = LockEdge {
+                    from: from.clone(),
+                    to: lock.clone(),
+                    file: src.path.clone(),
+                    line: *line,
+                    from_line: *from_line,
+                };
+                if !edges.contains(&edge) {
+                    edges.push(edge);
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Checks an acquisition graph (one file's or one crate's worth of edges)
+/// for self-edges, cycles, and contradictions of the declared canonical
+/// order.
+pub fn check_lock_graph(edges: &[LockEdge], manifest: &ConcurrencyManifest) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for edge in edges {
+        if edge.from == edge.to {
+            out.push(finding(
+                edge,
+                format!(
+                    "two guards of lock `{}` are held at once (second taken at line {}); \
+                     a concurrent holder acquiring in the opposite order deadlocks",
+                    edge.from, edge.line
+                ),
+            ));
+            continue;
+        }
+        if let (Some(fi), Some(ti)) =
+            (manifest.order_index(&edge.from), manifest.order_index(&edge.to))
+        {
+            if fi > ti {
+                out.push(finding(
+                    edge,
+                    format!(
+                        "acquiring `{}` while holding `{}` contradicts the canonical \
+                         lock order in concurrency.toml (`{}` must be taken first)",
+                        edge.to, edge.from, edge.to
+                    ),
+                ));
+            }
+        }
+        if on_cycle(edge, edges) {
+            out.push(finding(
+                edge,
+                format!(
+                    "lock-order cycle: `{}` is acquired while `{}` is held here, but \
+                     another site acquires them in the opposite order — declare one \
+                     order in concurrency.toml and fix the violator",
+                    edge.to, edge.from
+                ),
+            ));
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup();
+    out
+}
+
+fn finding(edge: &LockEdge, message: String) -> Finding {
+    Finding { lint: Lint::LockOrder, file: edge.file.clone(), line: edge.line, message }
+}
+
+/// True if following edges from `edge.to` can reach `edge.from` (i.e. the
+/// edge closes a cycle).
+fn on_cycle(edge: &LockEdge, edges: &[LockEdge]) -> bool {
+    let mut stack = vec![edge.to.as_str()];
+    let mut seen: Vec<&str> = Vec::new();
+    while let Some(node) = stack.pop() {
+        if node == edge.from {
+            return true;
+        }
+        if seen.contains(&node) {
+            continue;
+        }
+        seen.push(node);
+        for e in edges {
+            if e.from == node && e.from != e.to {
+                stack.push(e.to.as_str());
+            }
+        }
+    }
+    false
+}
+
+/// L7: expensive/blocking calls under a live guard.
+pub(crate) fn lint_lock_across(src: &SourceFile, out: &mut Vec<Finding>) {
+    for scope in analyze_fns(src) {
+        for event in &scope.events {
+            let Event::Expensive { call, line, held } = event else { continue };
+            // The annotation may sit on the call's line or on its own line
+            // directly above (lock-across call lines are often full).
+            if src.is_test_line(*line)
+                || src.is_allowed(*line, Lint::LockAcross.name())
+                || src.is_allowed(line.saturating_sub(1), Lint::LockAcross.name())
+            {
+                continue;
+            }
+            let held_desc: Vec<String> =
+                held.iter().map(|(l, ln)| format!("`{l}` (line {ln})")).collect();
+            out.push(Finding {
+                lint: Lint::LockAcross,
+                file: src.path.clone(),
+                line: *line,
+                message: format!(
+                    "`{call}` runs while lock guard(s) on {} are held; drop the guard \
+                     first or annotate `// lint: allow(lock-across, <invariant>)`",
+                    held_desc.join(", ")
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{lint_source, lint_source_with, Scope};
+
+    fn scope_l5() -> Scope {
+        Scope { lock_order: true, ..Default::default() }
+    }
+
+    fn scope_l7() -> Scope {
+        Scope { lock_across: true, ..Default::default() }
+    }
+
+    #[test]
+    fn consistent_order_produces_no_findings() {
+        let src = "\
+fn a(&self) {\n    let f = self.fifo.lock();\n    let s = self.shards[0].write();\n}\n\
+fn b(&self) {\n    let f = self.fifo.lock();\n    let s = self.shards[1].read();\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope_l5());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cycle_across_two_fns_is_flagged_at_both_edges() {
+        let src = "\
+fn a(&self) {\n    let f = self.fifo.lock();\n    let s = self.state.lock();\n}\n\
+fn b(&self) {\n    let s = self.state.lock();\n    let f = self.fifo.lock();\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope_l5());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::LockOrder));
+        assert!(f.iter().all(|x| x.message.contains("cycle")));
+    }
+
+    #[test]
+    fn declared_order_contradiction_is_flagged() {
+        let manifest = crate::manifest::parse("[lock-order]\norder = [\"fifo\", \"shards\"]\n").unwrap();
+        let src = "fn a(&self) {\n    let s = self.shards[0].write();\n    let f = self.fifo.lock();\n}\n";
+        let f = lint_source_with(&SourceFile::parse("t.rs", src), scope_l5(), &manifest);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("canonical lock order"));
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn same_lock_twice_is_a_self_edge_finding() {
+        let src = "fn a(&self) {\n    let s1 = self.shards[0].write();\n    let s2 = self.shards[1].write();\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope_l5());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("two guards of lock `shards`"));
+    }
+
+    #[test]
+    fn allow_lock_order_suppresses_the_edge() {
+        let src = "\
+fn a(&self) {\n    let s1 = self.shards[0].write();\n    let s2 = self.shards[1].write(); // lint: allow(lock-order, index-ordered: 0 < 1)\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope_l5());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn recv_under_guard_is_a_lock_across_finding() {
+        let src = "fn w(rx: &Mutex<Receiver<u8>>) {\n    let wave = match relock(rx.lock()).recv() { Ok(w) => w, Err(_) => return };\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope_l7());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains(".recv"));
+    }
+
+    #[test]
+    fn guard_dropped_before_expensive_call_is_clean() {
+        let src = "\
+fn w(&self) {\n    let g = self.cache.lock();\n    let plan = g.plan();\n    drop(g);\n    engine.embed_batch(&plan.ns, &plan.ts);\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope_l7());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_lock_across_suppresses_on_the_call_line() {
+        let src = "\
+fn w(&self) {\n    let g = self.q.lock();\n    let x = g.rx.recv(); // lint: allow(lock-across, single consumer by design)\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope_l7());
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

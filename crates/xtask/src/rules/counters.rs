@@ -1,0 +1,165 @@
+//! **L8 `unguarded-counter`** — cache-accounting discipline.
+//!
+//! The engine's counters ([`EngineCounters`]-style structs) and the
+//! serving layer's [`ServeCounters`] are only meaningful through their
+//! aggregation paths: workers merge deltas via `merge`, readers take a
+//! whole-struct `snapshot()`. Two shapes break that discipline:
+//!
+//! 1. A **`pub` atomic field**: any caller can `fetch_add` accounting
+//!    state directly, bypassing the documented invariants (monotonicity,
+//!    counters-move-together) that `# Invariants` sections promise.
+//! 2. A **torn multi-counter getter**: a `pub fn` that loads two or more
+//!    atomics piecewise can observe a state no serial execution produces
+//!    (e.g. `hits` already bumped but `lookups` not yet), so derived
+//!    ratios leave `[0, 1]`. Reads of more than one counter must go
+//!    through a `snapshot()`/`merge()`-style aggregator, which this rule
+//!    recognizes by name or by body.
+
+use super::{bounded_matches, is_ident_byte, Finding, Lint};
+use crate::scopes::{analyze_fns, receiver_name};
+use crate::source::SourceFile;
+
+pub(crate) fn lint_unguarded_counter(src: &SourceFile, out: &mut Vec<Finding>) {
+    lint_pub_atomic_fields(src, out);
+    lint_torn_getters(src, out);
+    out.sort_by_key(|f| f.line);
+    out.dedup();
+}
+
+/// Shape 1: `pub <name>: Atomic...` field declarations.
+fn lint_pub_atomic_fields(src: &SourceFile, out: &mut Vec<Finding>) {
+    let code = &src.code;
+    for at in bounded_matches(code, "pub") {
+        // `pub`, `pub(crate)`, `pub(super)` all expose the field beyond the
+        // owning impl; skip `pub fn`/`pub struct`/... by requiring the next
+        // token to be `name: Atomic`.
+        let mut rest = code[at + 3..].trim_start();
+        if let Some(stripped) = rest.strip_prefix('(') {
+            let Some(close) = stripped.find(')') else { continue };
+            rest = stripped[close + 1..].trim_start();
+        }
+        let name: String = rest.bytes().take_while(|&b| is_ident_byte(b)).map(char::from).collect();
+        if name.is_empty() || matches!(name.as_str(), "fn" | "struct" | "enum" | "mod" | "use" | "const" | "static" | "type" | "trait") {
+            continue;
+        }
+        let after = rest[name.len()..].trim_start();
+        let Some(ty) = after.strip_prefix(':') else { continue };
+        if !ty.trim_start().starts_with("Atomic") {
+            continue;
+        }
+        let line = src.line_of(at);
+        if src.is_test_line(line) || src.is_allowed(line, Lint::UnguardedCounter.name()) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::UnguardedCounter,
+            file: src.path.clone(),
+            line,
+            message: format!(
+                "accounting field `{name}` is a pub atomic; make it private and expose \
+                 it through the snapshot()/merge() aggregation path"
+            ),
+        });
+    }
+}
+
+/// Shape 2: `pub fn`s loading two or more distinct atomics piecewise.
+fn lint_torn_getters(src: &SourceFile, out: &mut Vec<Finding>) {
+    let code = &src.code;
+    for scope in analyze_fns(src) {
+        if scope.name == "snapshot" {
+            continue;
+        }
+        // Only pub fns: check the tokens immediately before the `fn`.
+        let fn_line_text = src.code_line(scope.line);
+        if !fn_line_text.trim_start().starts_with("pub") {
+            continue;
+        }
+        let (open, close) = scope.body;
+        let body = &code[open..=close.min(code.len() - 1)];
+        if body.contains(".snapshot(") || body.contains(".merge(") {
+            continue; // already goes through an aggregator
+        }
+        let mut loaded: Vec<String> = Vec::new();
+        for (at, _) in body.match_indices(".load(") {
+            let name = receiver_name(body, at);
+            if !name.is_empty() && !loaded.contains(&name) {
+                loaded.push(name);
+            }
+        }
+        if loaded.len() < 2 {
+            continue;
+        }
+        if src.is_test_line(scope.line)
+            || src.is_allowed(scope.line, Lint::UnguardedCounter.name())
+        {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::UnguardedCounter,
+            file: src.path.clone(),
+            line: scope.line,
+            message: format!(
+                "`pub fn {}` reads counters {} with separate loads — a torn snapshot; \
+                 aggregate through a snapshot()/merge() method",
+                scope.name,
+                loaded.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(", ")
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, Lint, Scope};
+    use crate::source::SourceFile;
+
+    fn scope() -> Scope {
+        Scope { counters: true, ..Default::default() }
+    }
+
+    #[test]
+    fn pub_atomic_field_is_flagged() {
+        let src = "pub struct C {\n    pub hits: AtomicU64,\n    misses: AtomicU64,\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, Lint::UnguardedCounter);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn private_fields_with_snapshot_are_clean() {
+        let src = "pub struct C { hits: AtomicU64, misses: AtomicU64 }\nimpl C {\n    pub fn snapshot(&self) -> (u64, u64) {\n        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))\n    }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn torn_multi_counter_getter_is_flagged() {
+        let src = "pub struct C { hits: AtomicU64, lookups: AtomicU64 }\nimpl C {\n    pub fn rate(&self) -> f64 {\n        self.hits.load(Ordering::Relaxed) as f64 / self.lookups.load(Ordering::Relaxed) as f64\n    }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("torn snapshot"));
+    }
+
+    #[test]
+    fn single_counter_getter_is_clean() {
+        let src = "pub struct C { hits: AtomicU64 }\nimpl C {\n    pub fn hits(&self) -> u64 { self.hits.load(Ordering::Relaxed) }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn getter_delegating_to_snapshot_is_clean() {
+        let src = "impl C {\n    pub fn stats(&self) -> Stats { self.counters.snapshot() }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn private_multi_load_fn_is_not_flagged() {
+        let src = "impl C {\n    fn internal(&self) -> u64 { self.a.load(O) + self.b.load(O) }\n}\n";
+        let f = lint_source(&SourceFile::parse("t.rs", src), scope());
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

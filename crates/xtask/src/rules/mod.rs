@@ -1,0 +1,191 @@
+//! The repo-specific lints (see DESIGN.md "Error handling & lint policy"
+//! and "Concurrency model").
+//!
+//! Line-oriented policy rules ([`basic`]):
+//!
+//! - **L1 `panic`** — no `.unwrap()` / `.expect(...)` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test library code.
+//! - **L2 `lossy-cast`** — no narrowing numeric casts without an
+//!   annotation stating why the value fits.
+//! - **L3 `std-hash`** — hot-path files must use `FxHashMap`/`FxHashSet`,
+//!   never SipHash `std::collections` maps.
+//! - **L4 `missing-invariants`** — `pub fn`s mutating shared cache state
+//!   must document an `# Invariants` section.
+//!
+//! Concurrency-safety rules (this PR's [`concurrency`], [`atomics`], and
+//! [`counters`] modules, backed by the [`crate::scopes`] walker and the
+//! `concurrency.toml` manifest):
+//!
+//! - **L5 `lock-order`** — the per-crate lock-acquisition graph (which
+//!   locks are taken while which are held) must be acyclic and must not
+//!   contradict the canonical order declared in `concurrency.toml`.
+//! - **L6 `atomics`** — `Ordering::Relaxed` on cross-thread *control*
+//!   atomics (every `AtomicBool`, plus the manifest's `control` list)
+//!   needs a `// relaxed-ok: <invariant>` justification; load-then-store
+//!   sequences on one atomic must use `fetch_*`/`compare_exchange`.
+//! - **L7 `lock-across`** — no lock guard may be held across an
+//!   expensive or blocking call (`embed_batch`, `matmul`, channel
+//!   `recv`, file I/O, `.await`).
+//! - **L8 `unguarded-counter`** — accounting state must stay private and
+//!   be read through an aggregating `snapshot()`/`merge()` path, never as
+//!   `pub` atomic fields or torn multi-counter getters.
+//!
+//! Every lint honors a same-line `// lint: allow(<name>[, reason])`
+//! escape hatch and skips `#[cfg(test)]` items; L6's Relaxed findings use
+//! the dedicated `// relaxed-ok: <reason>` form so the justification
+//! reads as a memory-ordering invariant, not a lint toggle.
+
+pub mod atomics;
+pub mod basic;
+pub mod concurrency;
+pub mod counters;
+
+pub use concurrency::{check_lock_graph, extract_lock_edges, LockEdge};
+
+use crate::manifest::ConcurrencyManifest;
+use crate::source::SourceFile;
+
+/// Which lint produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lint {
+    Panic,
+    LossyCast,
+    StdHash,
+    MissingInvariants,
+    LockOrder,
+    Atomics,
+    LockAcross,
+    UnguardedCounter,
+}
+
+impl Lint {
+    /// The name used in `// lint: allow(...)` annotations and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Panic => "panic",
+            Lint::LossyCast => "lossy-cast",
+            Lint::StdHash => "std-hash",
+            Lint::MissingInvariants => "missing-invariants",
+            Lint::LockOrder => "lock-order",
+            Lint::Atomics => "atomics",
+            Lint::LockAcross => "lock-across",
+            Lint::UnguardedCounter => "unguarded-counter",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: Lint,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Which lints apply to a given file (decided by the workspace walker from
+/// the file's crate and path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope {
+    pub panic: bool,
+    pub lossy_cast: bool,
+    pub std_hash: bool,
+    pub invariants: bool,
+    /// L5. In a whole-workspace run the walker disables this per-file flag
+    /// and checks the aggregated per-crate graph instead (a cycle can span
+    /// two files); single-file runs (fixtures) check the file's own graph.
+    pub lock_order: bool,
+    /// L6.
+    pub atomics: bool,
+    /// L7.
+    pub lock_across: bool,
+    /// L8.
+    pub counters: bool,
+}
+
+impl Scope {
+    pub fn all() -> Self {
+        Self {
+            panic: true,
+            lossy_cast: true,
+            std_hash: true,
+            invariants: true,
+            lock_order: true,
+            atomics: true,
+            lock_across: true,
+            counters: true,
+        }
+    }
+
+    /// The scope for integration-test files of covered crates: panics are
+    /// the test harness's failure mechanism, but a deadlock or a guard
+    /// held across a blocking call hangs CI just as hard in a test.
+    pub fn concurrency_only() -> Self {
+        Self { lock_order: true, atomics: true, lock_across: true, ..Self::default() }
+    }
+}
+
+/// Runs every in-scope lint over one parsed file with no manifest (the
+/// canonical-order and control-atomics checks degrade gracefully).
+pub fn lint_source(src: &SourceFile, scope: Scope) -> Vec<Finding> {
+    lint_source_with(src, scope, &ConcurrencyManifest::default())
+}
+
+/// Runs every in-scope lint over one parsed file against `manifest`.
+pub fn lint_source_with(
+    src: &SourceFile,
+    scope: Scope,
+    manifest: &ConcurrencyManifest,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if scope.panic {
+        basic::lint_panic(src, &mut out);
+    }
+    if scope.lossy_cast {
+        basic::lint_lossy_cast(src, &mut out);
+    }
+    if scope.std_hash {
+        basic::lint_std_hash(src, &mut out);
+    }
+    if scope.invariants {
+        basic::lint_invariants(src, &mut out);
+    }
+    if scope.lock_order {
+        let edges = concurrency::extract_lock_edges(src);
+        out.extend(concurrency::check_lock_graph(&edges, manifest));
+    }
+    if scope.atomics {
+        atomics::lint_atomics(src, manifest, &mut out);
+    }
+    if scope.lock_across {
+        concurrency::lint_lock_across(src, &mut out);
+    }
+    if scope.counters {
+        counters::lint_unguarded_counter(src, &mut out);
+    }
+    out
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Offsets of every occurrence of `needle` in `hay` where the preceding
+/// byte is not part of an identifier (word-boundary on the left).
+pub(crate) fn bounded_matches<'a>(
+    hay: &'a str,
+    needle: &'a str,
+) -> impl Iterator<Item = usize> + 'a {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(pos) = hay[from..].find(needle) {
+            let at = from + pos;
+            from = at + 1;
+            if at == 0 || !is_ident_byte(bytes[at - 1]) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}

@@ -1,0 +1,428 @@
+//! Lightweight intra-function scope/CFG walk for the concurrency rules.
+//!
+//! The walker scans each `fn` body in a file's code view (comments and
+//! strings already blanked by [`crate::source`]) and reconstructs the one
+//! fact the L5 (lock-order) and L7 (lock-across-expensive-call) rules
+//! need: **which lock guards are live at each point**. Guard liveness
+//! follows Rust's drop rules closely enough for linting:
+//!
+//! * `let g = ...lock();` binds a guard that lives until its enclosing
+//!   block closes or an explicit `drop(g)`.
+//! * A lock call that is *not* the final value of a `let` statement (a
+//!   `*deref` copy, a chained call like `x.lock().unwrap_len()`, a bare
+//!   expression statement) produces a temporary guard held to the end of
+//!   the statement.
+//!
+//! Lock acquisitions are the no-argument guard constructors `.lock()`,
+//! `.read()`, and `.write()` — the shared `std::sync`/`parking_lot` API
+//! surface. A lock's *name* is the last path segment of its receiver
+//! (`self.shards[i].write()` → `shards`), which is how the canonical
+//! order in `concurrency.toml` refers to it.
+
+use crate::source::SourceFile;
+
+/// A lock-guard constructor call.
+const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Calls that must not run under a lock guard (L7): inference and matmul
+/// hot-path entry points, blocking channel/thread operations, and file
+/// I/O. Condvar waits are deliberately absent — waiting *requires* the
+/// guard.
+pub const EXPENSIVE_CALLS: &[&str] = &[
+    "embed_batch(",
+    "matmul(",
+    ".recv()",
+    ".recv_timeout(",
+    ".join()",
+    "thread::sleep",
+    "std::fs::",
+    "File::open",
+    "File::create",
+    "read_to_string(",
+    "write_all(",
+    ".await",
+];
+
+/// One event observed during the walk of a function body, in source order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A lock acquisition. `held` is every distinct lock name already
+    /// guarded at this point (binding line attached for diagnostics).
+    Acquire { lock: String, line: usize, held: Vec<(String, usize)> },
+    /// An expensive call executed while at least one guard is live.
+    Expensive { call: String, line: usize, held: Vec<(String, usize)> },
+}
+
+/// The walked events of one `fn`.
+#[derive(Clone, Debug)]
+pub struct FnScope {
+    /// Function name (empty for closures promoted to items — not expected).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body byte span in the code view, `[open, close]` braces inclusive.
+    pub body: (usize, usize),
+    /// Acquisition / expensive-call events in source order.
+    pub events: Vec<Event>,
+}
+
+/// A live guard during the walk.
+struct Guard {
+    /// Binding name (`None` for statement temporaries).
+    binding: Option<String>,
+    /// Lock name (receiver's last path segment).
+    lock: String,
+    /// Brace depth the guard was created at.
+    depth: usize,
+    /// True for statement temporaries (die at the next `;`/`{`).
+    temp: bool,
+    /// 1-based acquisition line.
+    line: usize,
+}
+
+/// Walks every function body in the file.
+pub fn analyze_fns(src: &SourceFile) -> Vec<FnScope> {
+    let code = &src.code;
+    let bytes = code.as_bytes();
+    let mut out: Vec<FnScope> = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("fn ") {
+        let at = from + pos;
+        from = at + 3;
+        // Word boundary on the left (`pub fn` yes, `extern_fn ` no).
+        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
+            continue;
+        }
+        // Skip nested fns — their body is already walked with the parent's.
+        if out.iter().any(|f| at > f.body.0 && at < f.body.1) {
+            continue;
+        }
+        let name: String = code[at + 3..]
+            .bytes()
+            .take_while(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            .map(char::from)
+            .collect();
+        let Some((open, close)) = body_span(bytes, at) else { continue };
+        let events = walk_body(src, open, close);
+        out.push(FnScope { name, line: src.line_of(at), body: (open, close), events });
+    }
+    out
+}
+
+/// Finds the `{` opening the body of the fn at `at` (skipping the
+/// signature, which may contain `;`-free generic/array tokens) and its
+/// matching `}`. Returns `None` for bodyless trait declarations.
+fn body_span(bytes: &[u8], at: usize) -> Option<(usize, usize)> {
+    let mut nest = 0i32;
+    let mut open = None;
+    for (j, &b) in bytes[at..].iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => nest += 1,
+            b')' | b']' | b'>' => nest -= 1,
+            b'{' => {
+                open = Some(at + j);
+                break;
+            }
+            b';' if nest <= 0 => return None,
+            _ => {}
+        }
+    }
+    let open = open?;
+    let mut depth = 0usize;
+    for (j, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, open + j));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open, bytes.len().saturating_sub(1)))
+}
+
+/// Linear walk of one body span, producing events in order.
+fn walk_body(src: &SourceFile, open: usize, close: usize) -> Vec<Event> {
+    let code = &src.code;
+    let bytes = code.as_bytes();
+    let mut events = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt_start = open;
+    let mut i = open;
+    while i <= close {
+        match bytes[i] {
+            b'{' => {
+                depth += 1;
+                // A `{` ends the scrutinee/initializer expression: any
+                // statement temporary has done its job for L7 purposes.
+                guards.retain(|g| !g.temp);
+                stmt_start = i + 1;
+            }
+            b'}' => {
+                guards.retain(|g| g.depth < depth);
+                depth = depth.saturating_sub(1);
+                stmt_start = i + 1;
+            }
+            b';' => {
+                guards.retain(|g| !g.temp);
+                stmt_start = i + 1;
+            }
+            b'd' if code[i..].starts_with("drop(")
+                && (i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')) =>
+            {
+                let target: String = code[i + 5..]
+                    .bytes()
+                    .take_while(|&b| b.is_ascii_alphanumeric() || b == b'_')
+                    .map(char::from)
+                    .collect();
+                guards.retain(|g| g.binding.as_deref() != Some(target.as_str()));
+            }
+            b'.' => {
+                if let Some(call) = LOCK_CALLS.iter().find(|c| code[i..].starts_with(**c)) {
+                    let lock = receiver_name(code, i);
+                    let line = src.line_of(i);
+                    let held: Vec<(String, usize)> = distinct_held(&guards);
+                    events.push(Event::Acquire { lock: lock.clone(), line, held });
+                    let stmt = &code[stmt_start..i];
+                    let (binding, temp) = classify_binding(stmt, code, i + call.len(), close);
+                    guards.push(Guard { binding, lock, depth, temp, line });
+                    i += call.len();
+                    continue;
+                }
+                if let Some(call) = expensive_at(code, i) {
+                    push_expensive(src, &guards, call, i, &mut events);
+                }
+            }
+            _ => {
+                if let Some(call) = expensive_at(code, i) {
+                    // Word boundary for non-`.`-prefixed patterns.
+                    if i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+                        push_expensive(src, &guards, call, i, &mut events);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    events
+}
+
+fn expensive_at(code: &str, i: usize) -> Option<&'static str> {
+    EXPENSIVE_CALLS.iter().copied().find(|c| code[i..].starts_with(*c))
+}
+
+fn push_expensive(
+    src: &SourceFile,
+    guards: &[Guard],
+    call: &'static str,
+    at: usize,
+    events: &mut Vec<Event>,
+) {
+    if guards.is_empty() {
+        return;
+    }
+    events.push(Event::Expensive {
+        call: call.trim_end_matches("()").trim_end_matches('(').to_string(),
+        line: src.line_of(at),
+        held: distinct_held(guards),
+    });
+}
+
+fn distinct_held(guards: &[Guard]) -> Vec<(String, usize)> {
+    let mut held: Vec<(String, usize)> = Vec::new();
+    for g in guards {
+        if !held.iter().any(|(l, _)| *l == g.lock) {
+            held.push((g.lock.clone(), g.line));
+        }
+    }
+    held
+}
+
+/// Decides whether the lock call at the end of `stmt` (so far) binds a
+/// long-lived guard or a statement temporary.
+///
+/// Bound means: the statement is a `let`, the initializer is not a
+/// dereferencing copy (`let x = *a.lock();` drops the guard at the `;`),
+/// and nothing but closing parens follows the lock call before the `;` —
+/// a chained call (`a.lock().pop()`) means the *result of the chain*, not
+/// the guard, is bound.
+fn classify_binding(
+    stmt: &str,
+    code: &str,
+    after_call: usize,
+    close: usize,
+) -> (Option<String>, bool) {
+    let trimmed = stmt.trim_start();
+    if !trimmed.starts_with("let ") {
+        return (None, true);
+    }
+    let Some(eq) = trimmed.find('=') else { return (None, true) };
+    let init = trimmed[eq + 1..].trim_start();
+    if init.starts_with('*') || init.starts_with("match ") || init.starts_with("if ") {
+        return (None, true);
+    }
+    // Tail after the lock call: only `)` closers and whitespace may appear
+    // before the terminating `;` for the guard itself to be what's bound.
+    for b in code.as_bytes()[after_call..=close].iter() {
+        match b {
+            b')' | b' ' | b'\t' | b'\n' => continue,
+            b';' => break,
+            _ => return (None, true),
+        }
+    }
+    let mut name = trimmed[4..eq].trim();
+    name = name.strip_prefix("mut ").unwrap_or(name).trim();
+    // Pattern bindings (`let (a, b) = ...`) never bind a bare guard.
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+        return (None, true);
+    }
+    (Some(name.to_string()), false)
+}
+
+/// Last path segment of the receiver ending just before the `.` at `dot`:
+/// walks back over identifier segments, `.` separators, and balanced
+/// `[...]`/`(...)` groups. `self.shards[shard_of(k)].write()` → `shards`.
+pub(crate) fn receiver_name(code: &str, dot: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut i = dot;
+    let mut last_segment = String::new();
+    while i > 0 {
+        let b = bytes[i - 1];
+        match b {
+            b']' | b')' => {
+                let open = if b == b']' { b'[' } else { b'(' };
+                let mut depth = 1usize;
+                i -= 1;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    if bytes[i] == b {
+                        depth += 1;
+                    } else if bytes[i] == open {
+                        depth -= 1;
+                    }
+                }
+                // An index/call group is part of the receiver but never its
+                // name; keep walking toward the segment before it.
+            }
+            _ if b.is_ascii_alphanumeric() || b == b'_' => {
+                let end = i;
+                while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+                    i -= 1;
+                }
+                if last_segment.is_empty() {
+                    last_segment = code[i..end].to_string();
+                } else {
+                    // Already have the last segment; earlier segments only
+                    // matter to keep consuming the path.
+                }
+                // Stop unless a `.` continues the path leftward.
+                if i == 0 || bytes[i - 1] != b'.' {
+                    break;
+                }
+            }
+            b'.' => i -= 1,
+            _ => break,
+        }
+    }
+    last_segment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        let f = SourceFile::parse("t.rs", src);
+        analyze_fns(&f).into_iter().flat_map(|s| s.events).collect()
+    }
+
+    #[test]
+    fn bound_guard_is_held_until_block_end() {
+        let src = "fn f(&self) {\n    let g = self.fifo.lock();\n    let s = self.shards[0].write();\n}\n";
+        let ev = events(src);
+        assert_eq!(ev.len(), 2);
+        match &ev[1] {
+            Event::Acquire { lock, held, .. } => {
+                assert_eq!(lock, "shards");
+                assert_eq!(held.len(), 1);
+                assert_eq!(held[0].0, "fifo");
+            }
+            other => panic!("expected Acquire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_block_guard_dies_at_block_close() {
+        let src = "fn f(&self) {\n    {\n        let g = self.fifo.lock();\n    }\n    let s = self.state.lock();\n}\n";
+        let ev = events(src);
+        match &ev[1] {
+            Event::Acquire { lock, held, .. } => {
+                assert_eq!(lock, "state");
+                assert!(held.is_empty(), "fifo guard must be dead: {held:?}");
+            }
+            other => panic!("expected Acquire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn f(&self) {\n    let g = self.a.lock();\n    drop(g);\n    let h = self.b.lock();\n}\n";
+        let ev = events(src);
+        match &ev[1] {
+            Event::Acquire { held, .. } => assert!(held.is_empty()),
+            other => panic!("expected Acquire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deref_copy_is_a_statement_temporary() {
+        let src = "fn f(&self) {\n    let c = *self.counters.lock();\n    self.engine.embed_batch(&c);\n}\n";
+        let ev = events(src);
+        assert_eq!(ev.len(), 1, "no Expensive event once the temp died: {ev:?}");
+    }
+
+    #[test]
+    fn chained_call_holds_a_temporary_through_the_statement() {
+        let src = "fn f(&self) {\n    let wave = match relock(rx.lock()).recv() { Ok(w) => w, Err(_) => return };\n}\n";
+        let ev = events(src);
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                Event::Expensive { call, held, .. }
+                    if call == ".recv" && held.iter().any(|(l, _)| l == "rx")
+            )),
+            "recv under rx guard must be seen: {ev:?}"
+        );
+    }
+
+    #[test]
+    fn expensive_call_under_bound_guard_is_reported() {
+        let src = "fn f(&self) {\n    let g = self.cache.lock();\n    let h = engine.embed_batch(&ns, &ts);\n}\n";
+        let ev = events(src);
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::Expensive { call, .. } if call == "embed_batch"
+        )));
+    }
+
+    #[test]
+    fn indexed_receiver_names_the_field() {
+        let src = "fn f(&self) {\n    let s = self.shards[shard_of(key)].read();\n}\n";
+        let ev = events(src);
+        match &ev[0] {
+            Event::Acquire { lock, .. } => assert_eq!(lock, "shards"),
+            other => panic!("expected Acquire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condvar_wait_is_not_expensive() {
+        let src = "fn f(&self) {\n    let mut st = self.state.lock();\n    st = self.arrived.wait(st);\n}\n";
+        let ev = events(src);
+        assert_eq!(ev.len(), 1, "only the acquisition: {ev:?}");
+    }
+}

@@ -31,6 +31,9 @@ pub struct SourceFile {
     pub code: String,
     /// All allow annotations, in file order.
     pub allows: Vec<Allow>,
+    /// 1-based lines carrying a `// relaxed-ok: <reason>` annotation with a
+    /// non-empty reason (the L6 escape hatch for justified `Relaxed` use).
+    pub relaxed_ok: Vec<usize>,
     /// Byte offset of the start of each line.
     line_starts: Vec<usize>,
     /// `in_test[i]` is true if 1-based line `i + 1` lies inside a
@@ -45,8 +48,9 @@ impl SourceFile {
         let (code, comments) = blank_non_code(&raw);
         let line_starts = line_starts(&raw);
         let allows = parse_allows(&comments, &line_starts);
+        let relaxed_ok = parse_relaxed_ok(&comments, &line_starts);
         let in_test = test_line_mask(&code, &line_starts);
-        Self { path, raw, code, allows, line_starts, in_test }
+        Self { path, raw, code, allows, relaxed_ok, line_starts, in_test }
     }
 
     /// 1-based line containing byte `offset`.
@@ -65,6 +69,12 @@ impl SourceFile {
     /// True if `line` carries an allow annotation for `name`.
     pub fn is_allowed(&self, line: usize, name: &str) -> bool {
         self.allows.iter().any(|a| a.line == line && a.name == name)
+    }
+
+    /// True if `line` carries a `// relaxed-ok: <reason>` annotation. The
+    /// reason is mandatory — a bare `relaxed-ok:` does not count.
+    pub fn has_relaxed_ok(&self, line: usize) -> bool {
+        self.relaxed_ok.contains(&line)
     }
 
     /// The code-view text of 1-based `line` (comments/strings blanked).
@@ -269,6 +279,30 @@ fn parse_allows(comments: &str, line_starts: &[usize]) -> Vec<Allow> {
     out
 }
 
+/// Extracts `relaxed-ok: <reason>` annotations (L6's escape hatch) from
+/// comment text. Only annotations with a non-empty reason are recorded.
+fn parse_relaxed_ok(comments: &str, line_starts: &[usize]) -> Vec<usize> {
+    const MARKER: &str = "relaxed-ok:";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = comments[from..].find(MARKER) {
+        let at = from + pos;
+        let rest = &comments[at + MARKER.len()..];
+        let reason = rest.lines().next().unwrap_or("").trim();
+        if !reason.is_empty() {
+            let line = match line_starts.binary_search(&at) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            if !out.contains(&line) {
+                out.push(line);
+            }
+        }
+        from = at + MARKER.len();
+    }
+    out
+}
+
 /// Marks every line inside a `#[cfg(test)]` item's brace span.
 fn test_line_mask(code: &str, line_starts: &[usize]) -> Vec<bool> {
     let mut mask = vec![false; line_starts.len()];
@@ -354,6 +388,14 @@ mod tests {
         // The lifetime text survives; the char body is blanked.
         assert!(f.code.contains("'a>"));
         assert!(f.code.contains("' '"));
+    }
+
+    #[test]
+    fn relaxed_ok_requires_a_reason() {
+        let src = "a.load(Ordering::Relaxed); // relaxed-ok: advisory counter\nb.load(Ordering::Relaxed); // relaxed-ok:\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.has_relaxed_ok(1));
+        assert!(!f.has_relaxed_ok(2));
     }
 
     #[test]

@@ -7,12 +7,20 @@
 #   1. cargo build --release        — the workspace compiles with optimizations
 #   2. cargo test -q --workspace    — every crate's unit + integration tests
 #   3. cargo run -p tg-xtask -- lint — the repo's static-analysis suite
-#      (L1 panic, L2 lossy-cast, L3 std-hash, L4 missing-invariants; see
-#      DESIGN.md "Error handling & lint policy")
+#      (L1 panic, L2 lossy-cast, L3 std-hash, L4 missing-invariants, plus
+#      the concurrency rules L5 lock-order, L6 atomics, L7 lock-across,
+#      L8 unguarded-counter; see DESIGN.md "Error handling & lint policy"
+#      and "Concurrency model")
 #
 # The lint also runs inside `cargo test` via tests/lint_gate.rs, so step 3
 # is technically redundant — but running it standalone gives file:line
 # output (and `--format json` for CI) without a test harness around it.
+#
+# Not run here (separate CI jobs, both seconds-to-minutes): the loom
+# concurrency models —
+#   RUSTFLAGS="--cfg loom" cargo test --test loom_concurrency --release
+# (a different RUSTFLAGS fingerprint rebuilds the whole workspace, so it
+# stays out of the inner dev loop) — and nightly `cargo miri test`.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

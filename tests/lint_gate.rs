@@ -6,6 +6,7 @@
 //! (add `--format json` for machine-readable output).
 
 use std::path::Path;
+use tg_xtask::{lint_source, Scope, SourceFile};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -21,4 +22,34 @@ fn workspace_is_lint_clean() {
         "workspace has lint findings:\n{}",
         tg_xtask::render_text(&report)
     );
+}
+
+/// The concurrency rules (L5 lock-order, L6 atomics, L7 lock-across, L8
+/// unguarded-counter) each keep a pass/fail fixture pair under
+/// `crates/xtask/fixtures/`. This gate re-checks them from outside the
+/// analyzer crate: every fail fixture must still fire and every pass
+/// fixture must stay clean, so a rule that silently stops matching (or
+/// starts over-matching) fails `cargo test` at the workspace level too.
+#[test]
+fn concurrency_fixture_pairs_hold() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/xtask/fixtures");
+    let cases: [(&str, Scope); 4] = [
+        ("l5", Scope { lock_order: true, ..Scope::default() }),
+        ("l6", Scope { atomics: true, ..Scope::default() }),
+        ("l7", Scope { lock_across: true, ..Scope::default() }),
+        ("l8", Scope { counters: true, ..Scope::default() }),
+    ];
+    for (lint, scope) in cases {
+        for (suffix, must_fire) in [("fail", true), ("pass", false)] {
+            let name = format!("{lint}_{suffix}.rs");
+            let text = std::fs::read_to_string(fixtures.join(&name))
+                .unwrap_or_else(|e| panic!("missing fixture {name}: {e}"));
+            let findings = lint_source(&SourceFile::parse(name.clone(), text), scope);
+            if must_fire {
+                assert!(!findings.is_empty(), "{name} must produce findings");
+            } else {
+                assert!(findings.is_empty(), "{name} must be clean, got: {findings:?}");
+            }
+        }
+    }
 }

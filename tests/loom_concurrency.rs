@@ -1,0 +1,196 @@
+#![cfg(loom)]
+//! Loom models of the three cache/serve hot-path protocols (see DESIGN.md
+//! "Concurrency model"). Compiled only under `--cfg loom`:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test --test loom_concurrency --release
+//! ```
+//!
+//! `LOOM_ITERATIONS` (default 64) controls how many seeded schedules each
+//! model explores. The vendored `loom` is a randomized-interleaving shim,
+//! not exhaustive DPOR — see vendor/loom's crate docs — so these models
+//! drive the *real* `tgopt::EmbedCache` and `tg_serve::BoundedQueue` with
+//! real threads; only the Ticket/Slot protocol is mirrored (the `Slot`
+//! type is `pub(crate)`).
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+use std::time::Duration;
+use tg_serve::BoundedQueue;
+use tg_tensor::Tensor;
+use tgopt::{pack_key, EmbedCache};
+
+/// Mirror of `tg_serve::request::Slot`'s first-write-wins protocol
+/// (`fulfill` + consuming `wait`); the real type is crate-private.
+struct SlotModel {
+    cell: Mutex<Option<u32>>,
+    ready: Condvar,
+}
+
+impl SlotModel {
+    fn new() -> Self {
+        Self { cell: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// Returns true if this call's value won the slot.
+    fn fulfill(&self, value: u32) -> bool {
+        let mut cell = self.cell.lock().unwrap();
+        if cell.is_none() {
+            *cell = Some(value);
+            drop(cell);
+            self.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn wait(&self) -> u32 {
+        let mut cell = self.cell.lock().unwrap();
+        loop {
+            if let Some(v) = cell.take() {
+                return v;
+            }
+            cell = self.ready.wait(cell).unwrap();
+        }
+    }
+}
+
+/// (a) Ticket/Slot scatter: two racing fulfillments (a batch result vs a
+/// deadline rejection) produce exactly one winner and the waiter observes
+/// exactly that winner's value — no lost write, no double completion.
+#[test]
+fn slot_first_write_wins_under_racing_fulfillments() {
+    static ITERS: AtomicUsize = AtomicUsize::new(0);
+    loom::model(|| {
+        ITERS.fetch_add(1, Ordering::SeqCst);
+        let slot = Arc::new(SlotModel::new());
+        let s1 = Arc::clone(&slot);
+        let s2 = Arc::clone(&slot);
+        let t1 = thread::spawn(move || s1.fulfill(1));
+        let t2 = thread::spawn(move || s2.fulfill(2));
+        let w1 = t1.join().unwrap();
+        let w2 = t2.join().unwrap();
+        // Exactly one fulfillment wins; the other is ignored.
+        assert!(w1 ^ w2, "exactly one writer must win (got w1={w1}, w2={w2})");
+        let observed = slot.wait();
+        let winner = if w1 { 1 } else { 2 };
+        assert_eq!(observed, winner, "waiter must observe the winning write");
+    });
+    assert!(ITERS.load(Ordering::SeqCst) > 1, "model must explore more than one schedule");
+}
+
+/// (b) EmbedCache store/lookup vs `invalidate_node`: after a writer, a
+/// reader, and an invalidator race, the atomic accounting (`len()`)
+/// agrees with the actual live entries, never underflows (an underflow
+/// wraps a usize and would blow the `<= limit` bound), and the capacity
+/// limit holds.
+#[test]
+fn cache_accounting_survives_store_lookup_invalidate_race() {
+    static ITERS: AtomicUsize = AtomicUsize::new(0);
+    loom::model(|| {
+        ITERS.fetch_add(1, Ordering::SeqCst);
+        let cache = Arc::new(EmbedCache::new(4, 2));
+
+        let c = Arc::clone(&cache);
+        let writer = thread::spawn(move || {
+            for t in 0..3u32 {
+                let keys = [pack_key(7, t as f32), pack_key(100 + t, 1.0)];
+                let h = Tensor::from_vec(2, 2, vec![t as f32, 1.0, t as f32, 2.0]);
+                c.store(&keys, &h, false).unwrap();
+            }
+        });
+
+        let c = Arc::clone(&cache);
+        let invalidator = thread::spawn(move || {
+            let mut removed = 0;
+            for _ in 0..2 {
+                removed += c.invalidate_node(7);
+                thread::yield_now();
+            }
+            removed
+        });
+
+        let c = Arc::clone(&cache);
+        let reader = thread::spawn(move || {
+            let mut out = Tensor::zeros(1, 2);
+            for t in 0..3u32 {
+                let hit = c.lookup(&[pack_key(7, t as f32)], &mut out, false).unwrap();
+                if hit[0] {
+                    // A hit row is a fully-written row, never a torn one.
+                    assert_eq!(out.row(0), &[t as f32, 1.0], "lookup returned a torn row");
+                }
+            }
+        });
+
+        writer.join().unwrap();
+        invalidator.join().unwrap();
+        reader.join().unwrap();
+
+        let live = cache.export_fifo_order().len();
+        assert_eq!(
+            cache.len(),
+            live,
+            "atomic count diverged from live entries (underflow or lost accounting)"
+        );
+        assert!(cache.len() <= cache.limit(), "capacity bound violated: {}", cache.len());
+    });
+    assert!(ITERS.load(Ordering::SeqCst) > 1, "model must explore more than one schedule");
+}
+
+/// (c) BoundedQueue close/backpressure handshake: every accepted push is
+/// popped exactly once (no lost or duplicated items), rejected pushes are
+/// really rejected, close wakes the blocked consumer, and the backlog
+/// never exceeds capacity.
+#[test]
+fn bounded_queue_close_backpressure_handshake() {
+    static ITERS: AtomicUsize = AtomicUsize::new(0);
+    loom::model(|| {
+        ITERS.fetch_add(1, Ordering::SeqCst);
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(2));
+
+        let producers: Vec<_> = (0..2u32)
+            .map(|p| {
+                let q = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut accepted = Vec::new();
+                    for i in 0..3u32 {
+                        let item = p * 10 + i;
+                        if q.push(item).is_ok() {
+                            accepted.push(item);
+                        }
+                        assert!(q.len() <= q.capacity(), "backlog exceeded capacity");
+                        thread::yield_now();
+                    }
+                    accepted
+                })
+            })
+            .collect();
+
+        let q = Arc::clone(&queue);
+        let consumer = thread::spawn(move || {
+            let mut popped = Vec::new();
+            while let Some(wave) = q.pop_wave(2, Duration::ZERO) {
+                assert!(!wave.is_empty(), "pop_wave returned an empty wave");
+                assert!(wave.len() <= 2, "wave exceeded max");
+                popped.extend(wave);
+            }
+            popped
+        });
+
+        let mut accepted: Vec<u32> =
+            producers.into_iter().flat_map(|t| t.join().unwrap()).collect();
+        // Consumer exits only once the queue is closed *and* drained.
+        queue.close();
+        assert!(queue.is_closed());
+        assert!(queue.push(99).is_err(), "push after close must be rejected");
+
+        let mut popped = consumer.join().unwrap();
+        accepted.sort_unstable();
+        popped.sort_unstable();
+        assert_eq!(popped, accepted, "every accepted item pops exactly once");
+        assert_eq!(queue.len(), 0, "drained queue must account to empty");
+    });
+    assert!(ITERS.load(Ordering::SeqCst) > 1, "model must explore more than one schedule");
+}
