@@ -23,6 +23,7 @@ struct CliOpts {
     stats: bool,
     time_window: usize,
     verify: bool,
+    json: Option<String>,
 }
 
 fn parse() -> CliOpts {
@@ -37,6 +38,7 @@ fn parse() -> CliOpts {
         stats: false,
         time_window: 10_000,
         verify: false,
+        json: None,
     };
     let mut passthrough: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -61,6 +63,7 @@ fn parse() -> CliOpts {
             "--hash-time-cache" => out.hash_time_cache = true,
             "--stats" => out.stats = true,
             "--verify" => out.verify = true,
+            "--json" => out.json = Some(take("--json")),
             "--time-window" => {
                 out.time_window = take("--time-window").parse().unwrap_or_else(|_| {
                     eprintln!("error: invalid --time-window");
@@ -89,7 +92,7 @@ fn parse() -> CliOpts {
 
 const USAGE: &str = "\
 Usage: inference [-d NAME | --csv PATH] [--opt-all | --opt-dedup --opt-cache --opt-time]
-                 [--stats] [--verify] [--time-window N] [--hash-time-cache]
+                 [--stats] [--verify] [--json PATH] [--time-window N] [--hash-time-cache]
                  [--scale F] [--runs N] [--dim N] [--neighbors N] [--batch N]
                  [--cache-limit N] [--seed N]
 
@@ -132,6 +135,70 @@ fn verify(cli: &CliOpts, ds: &tg_datasets::Dataset, params: &tgat::TgatParams) {
         std::process::exit(1);
     }
     println!("OK: TGOpt matches the baseline within floating-point tolerance");
+}
+
+/// One engine's entry in the machine-readable report (see EXPERIMENTS.md for
+/// the protocol that produces the committed `BENCH_inference.json`).
+#[derive(serde::Serialize)]
+struct EngineReport {
+    engine: String,
+    wall_ms_mean: f64,
+    wall_ms_std: f64,
+    speedup_vs_baseline: f64,
+    checksum: f64,
+    counters: CounterReport,
+    cache_items: usize,
+    cache_bytes: usize,
+}
+
+#[derive(serde::Serialize)]
+struct CounterReport {
+    cache_lookups: u64,
+    cache_hits: u64,
+    cache_stores: u64,
+    recomputed: u64,
+    dedup_removed: u64,
+    stores_skipped: u64,
+}
+
+/// Top-level schema of `--json` output.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    dataset: String,
+    edges: usize,
+    nodes: usize,
+    batch_size: usize,
+    runs: usize,
+    seed: u64,
+    dim: usize,
+    neighbors: usize,
+    engines: Vec<EngineReport>,
+}
+
+fn engine_report(
+    kind: &str,
+    wall_ms_mean: f64,
+    wall_ms_std: f64,
+    speedup_vs_baseline: f64,
+    run: &tg_bench::harness::RunResult,
+) -> EngineReport {
+    EngineReport {
+        engine: kind.to_string(),
+        wall_ms_mean,
+        wall_ms_std,
+        speedup_vs_baseline,
+        checksum: run.checksum,
+        counters: CounterReport {
+            cache_lookups: run.counters.cache_lookups,
+            cache_hits: run.counters.cache_hits,
+            cache_stores: run.counters.cache_stores,
+            recomputed: run.counters.recomputed,
+            dedup_removed: run.counters.dedup_removed,
+            stores_skipped: run.counters.stores_skipped,
+        },
+        cache_items: run.cache_items,
+        cache_bytes: run.cache_bytes,
+    }
 }
 
 fn main() {
@@ -181,6 +248,13 @@ fn main() {
     }
     let (bm, bs) = mean_std(&base_times);
     println!("baseline: {} +/- {}", table::fmt_secs(bm), table::fmt_secs(bs));
+    let mut engine_reports = vec![engine_report(
+        "baseline",
+        bm * 1e3,
+        bs * 1e3,
+        1.0,
+        base_run.as_ref().expect("ran at least once"),
+    )];
 
     if any_opt {
         let opt = OptConfig {
@@ -211,6 +285,7 @@ fn main() {
             bm / om.max(1e-12)
         );
         let r = opt_run.expect("ran at least once");
+        engine_reports.push(engine_report("tgopt", om * 1e3, os * 1e3, bm / om.max(1e-12), &r));
         println!(
             "cache: {:.2}% hit rate | {} items | {} | dedup removed {}",
             100.0 * r.counters.hit_rate(),
@@ -242,4 +317,76 @@ fn main() {
         }
         println!("\n{}", table::render(&["operation (secs)", "base"], &rows));
     }
+
+    if let Some(path) = &cli.json {
+        let report = BenchReport {
+            dataset: ds.name.clone(),
+            edges: ds.stream.len(),
+            nodes: ds.stream.num_nodes(),
+            batch_size: cli.base.batch_size,
+            runs: cli.base.runs,
+            seed: cli.base.seed,
+            dim: cli.base.dim,
+            neighbors: cli.base.n_neighbors,
+            engines: engine_reports,
+        };
+        let text = serde_json::to_string(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(path, pretty_json(&text) + "\n") {
+            eprintln!("error: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// Re-indents compact JSON for a diff-friendly committed artifact (the
+/// vendored `serde_json` shim has no pretty printer). Only structural
+/// characters outside strings trigger breaks, so values pass through intact.
+fn pretty_json(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                depth += 1;
+                indent(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -12,7 +12,7 @@ use crate::hash::compute_keys;
 use crate::timecache::{HashTimeCache, TimeCache};
 use tg_error::TgError;
 use tg_graph::{NodeId, SamplingStrategy, TemporalSampler, Time};
-use tg_tensor::{ops, Tensor};
+use tg_tensor::{ops, Scratch, Tensor};
 use tgat::attention::{self, AttentionInputs};
 use tgat::engine::GraphContext;
 use std::sync::Arc;
@@ -135,6 +135,9 @@ pub struct TgoptEngine<'a> {
     stats: OpStats,
     counters: EngineCounters,
     store_enabled: bool,
+    /// Recycled per-batch buffers; owned by the engine (one per serve
+    /// worker) so steady-state batches run allocation-free.
+    scratch: Scratch,
 }
 
 impl<'a> TgoptEngine<'a> {
@@ -170,6 +173,7 @@ impl<'a> TgoptEngine<'a> {
             stats: OpStats::disabled(),
             counters: EngineCounters::default(),
             store_enabled: true,
+            scratch: Scratch::new(),
         }
     }
 
@@ -322,10 +326,10 @@ impl<'a> TgoptEngine<'a> {
         if l == 0 {
             // Layer 0 only gathers static features; dedup would cost more
             // than the lookup it saves (§4.1).
-            return Ok(self.ctx.gather_node_features(ns));
+            return Ok(self.ctx.gather_node_features_with(ns, &mut self.scratch));
         }
         if ns.is_empty() {
-            return Ok(Tensor::zeros(0, cfg.dim));
+            return Ok(self.scratch.take(0, cfg.dim));
         }
 
         // §4.1 DedupFilter.
@@ -341,7 +345,9 @@ impl<'a> TgoptEngine<'a> {
             None => (ns, ts),
         };
         let n_uniq = uns.len();
-        let mut h = Tensor::zeros(n_uniq, cfg.dim);
+        // Zeroed (not just taken) because a partial cache lookup only fills
+        // hit rows; the scatter below covers the misses.
+        let mut h = self.scratch.zeros(n_uniq, cfg.dim);
 
         // §4.2 memoization — sound only under most-recent sampling, and the
         // last layer is skipped unless configured otherwise. Each cached
@@ -378,31 +384,46 @@ impl<'a> TgoptEngine<'a> {
             let mut all_ts = m_ts.clone();
             all_ts.extend_from_slice(&nb.times);
             let h_prev = self.embed(l - 1, &all_ns, &all_ts)?;
-            let (h_src, h_ngh) = ops::split_rows(&h_prev, m_ns.len());
+            let mut h_src = self.scratch.take(m_ns.len(), h_prev.cols());
+            let mut h_ngh = self.scratch.take(nb.nodes.len(), h_prev.cols());
+            ops::split_rows_into(&h_prev, m_ns.len(), &mut h_src, &mut h_ngh);
+            self.scratch.give(h_prev);
 
             // §4.3 precomputed time encodings.
             let params = self.params;
+            let scratch = &mut self.scratch;
             let ht0 = if self.opt.enable_time_precompute {
                 let timecache = &self.timecache;
                 self.stats
                     .time(OpKind::TimeEncodeZero, || timecache.encode_zeros(m_ns.len()))
             } else {
-                self.stats
-                    .time(OpKind::TimeEncodeZero, || params.time.encode_zeros(m_ns.len()))
+                let stats = &mut self.stats;
+                stats.time(OpKind::TimeEncodeZero, || {
+                    let mut t = scratch.take(m_ns.len(), params.time.dim());
+                    params.time.encode_zeros_into(&mut t);
+                    t
+                })
             };
             let ht = if self.opt.enable_time_precompute {
                 let timecache = &mut self.timecache;
                 self.stats
                     .time(OpKind::TimeEncodeDt, || timecache.encode(&params.time, &nb.dts))
             } else {
-                self.stats.time(OpKind::TimeEncodeDt, || params.time.encode(&nb.dts))
+                let stats = &mut self.stats;
+                stats.time(OpKind::TimeEncodeDt, || {
+                    let mut t = scratch.take(nb.dts.len(), params.time.dim());
+                    params.time.encode_into(&nb.dts, &mut t);
+                    t
+                })
             };
-            let e_feat = self.ctx.gather_edge_features(&nb.eids);
+            let e_feat = self.ctx.gather_edge_features_with(&nb.eids, &mut self.scratch);
             let mask = nb.mask();
 
             let layer = &self.params.layers[l - 1];
-            let h_m = self.stats.time(OpKind::Attention, || {
-                attention::forward(
+            let stats = &mut self.stats;
+            let scratch = &mut self.scratch;
+            let h_m = stats.time(OpKind::Attention, || {
+                attention::forward_with(
                     layer,
                     cfg,
                     &AttentionInputs {
@@ -413,8 +434,14 @@ impl<'a> TgoptEngine<'a> {
                         ht: &ht,
                         mask: &mask,
                     },
+                    scratch,
                 )
             });
+            self.scratch.give(e_feat);
+            self.scratch.give(ht);
+            self.scratch.give(ht0);
+            self.scratch.give(h_ngh);
+            self.scratch.give(h_src);
 
             if let Some(cache) = cache_l {
                 if self.store_enabled {
@@ -431,14 +458,19 @@ impl<'a> TgoptEngine<'a> {
 
             // Copy recomputed rows into their unique-array positions.
             for (src_row, &dst) in miss_idx.iter().enumerate() {
-                let row = h_m.row(src_row).to_vec();
-                h.row_mut(dst).copy_from_slice(&row);
+                h.row_mut(dst).copy_from_slice(h_m.row(src_row));
             }
+            self.scratch.give(h_m);
         }
 
         // §4.1 DedupInvert: expand back to the original batch layout.
         Ok(match &dedup {
-            Some(r) => self.stats.time(OpKind::DedupInvert, || dedup_invert(&h, &r.inv_idx)),
+            Some(r) => {
+                let out =
+                    self.stats.time(OpKind::DedupInvert, || dedup_invert(&h, &r.inv_idx));
+                self.scratch.give(h);
+                out
+            }
             None => h,
         })
     }

@@ -223,6 +223,10 @@ fn process_wave(engine: &mut TgoptEngine<'_>, wave: Vec<Pending>, shared: &Share
 
 fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>) {
     let bundle = Arc::clone(&shared.bundle);
+    // One engine per worker, reused across waves — which also means one
+    // `Scratch` arena per worker: after the first wave, steady-state
+    // batches run the whole attention stack out of recycled buffers with
+    // no allocator traffic (see DESIGN.md "Kernel architecture").
     let mut engine = TgoptEngine::with_cache(
         &bundle.params,
         bundle.context(),

@@ -1,0 +1,88 @@
+//! Measures the `ROW_BLOCK` / `PAR_THRESHOLD` tuning constants on the
+//! matmul shapes the inference hot path actually produces.
+//!
+//! ```sh
+//! cargo run --release -p tg-tensor --example tune
+//! ```
+//!
+//! The measured tables are copied into DESIGN.md ("Kernel architecture");
+//! rerun this after changing the kernels or the vendored rayon shim. Note
+//! that the shim executes `par_*` sequentially, so `ROW_BLOCK` here only
+//! measures chunk-dispatch overhead and `PAR_THRESHOLD` the cost of taking
+//! the chunked path at all — with a real thread pool both would be retuned.
+
+use std::time::Instant;
+use tg_tensor::matmul::{matmul_forced, matmul_with_row_block};
+use tg_tensor::{init, Tensor};
+
+fn bench<F: FnMut() -> Tensor>(mut f: F) -> f64 {
+    // Warm up, then take the best of 5 (least-noise estimator for
+    // single-threaded compute-bound loops).
+    let mut sink = 0.0f64;
+    sink += f().as_slice().iter().map(|&v| v as f64).sum::<f64>();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let c = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        sink += c.as_slice().first().copied().unwrap_or(0.0) as f64;
+    }
+    assert!(sink.is_finite());
+    best
+}
+
+fn main() {
+    let mut rng = init::seeded_rng(7);
+    // (label, m, k, n): the shapes embed_batch feeds matmul with the bench
+    // protocol (batch 200 -> 400 targets, 10 neighbors, dim 32, 2 heads).
+    let shapes = [
+        ("K/V layer-1  [44000,164]x[164,16]", 44_000usize, 164usize, 16usize),
+        ("Q   layer-1  [4400,64]x[64,16]", 4_400, 64, 16),
+        ("FFN fc1      [4400,64]x[64,32]", 4_400, 64, 32),
+        ("FFN fc2      [4400,32]x[32,32]", 4_400, 32, 32),
+        ("Q   layer-2  [400,64]x[64,16]", 400, 64, 16),
+    ];
+
+    println!("== ROW_BLOCK sweep (parallel path pinned on, best of 5, ms) ==");
+    print!("{:<38}", "shape");
+    let blocks = [8usize, 16, 32, 64, 128];
+    for rb in blocks {
+        print!("  rb={rb:<4}");
+    }
+    println!();
+    for (label, m, k, n) in shapes {
+        let a = init::uniform(&mut rng, m, k, 1.0);
+        let b = init::uniform(&mut rng, k, n, 1.0);
+        print!("{label:<38}");
+        for rb in blocks {
+            let secs = bench(|| matmul_with_row_block(&a, &b, rb));
+            print!("  {:>7.3}", secs * 1e3);
+        }
+        println!();
+    }
+
+    println!();
+    println!("== PAR_THRESHOLD crossover (work = m*n*k, best of 5, us) ==");
+    println!("{:<26}{:>12}{:>12}{:>12}", "shape", "work", "serial", "chunked");
+    for (m, k, n) in [
+        (8usize, 32usize, 32usize),
+        (16, 32, 32),
+        (32, 32, 32),
+        (64, 32, 32),
+        (128, 32, 32),
+        (400, 64, 16),
+        (1024, 64, 64),
+    ] {
+        let a = init::uniform(&mut rng, m, k, 1.0);
+        let b = init::uniform(&mut rng, k, n, 1.0);
+        let serial = bench(|| matmul_forced(&a, &b, false));
+        let chunked = bench(|| matmul_forced(&a, &b, true));
+        println!(
+            "{:<26}{:>12}{:>12.2}{:>12.2}",
+            format!("[{m},{k}]x[{k},{n}]"),
+            m * n * k,
+            serial * 1e6,
+            chunked * 1e6
+        );
+    }
+}

@@ -21,8 +21,10 @@ pub mod autograd;
 pub mod init;
 pub mod matmul;
 pub mod ops;
+pub mod scratch;
 pub mod tensor;
 
+pub use scratch::Scratch;
 pub use tensor::Tensor;
 
 /// Number of `f32` elements below which kernels stay sequential.

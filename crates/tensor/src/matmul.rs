@@ -1,4 +1,4 @@
-//! Blocked, rayon-parallel matrix multiplication kernels.
+//! Blocked, register-tiled matrix multiplication kernels.
 //!
 //! Three layouts cover the forward pass and both backward products of a
 //! linear layer without materializing any transposes:
@@ -6,58 +6,324 @@
 //! * [`matmul`]    — `C = A * B`
 //! * [`matmul_nt`] — `C = A * B^T` (B stored `[n, k]`)
 //! * [`matmul_tn`] — `C = A^T * B` (A stored `[m, k]`, producing `[k, n]`)
+//!
+//! plus the fused [`addmm`] (`C = A * B + bias`), which is what a linear
+//! layer actually wants.
+//!
+//! # Kernel architecture
+//!
+//! All dense work funnels into a 4×16 register-tiled rank-1 microkernel
+//! ([`quad_panel`]): four rows of `A` update a 16-column panel of `C` held
+//! in 64 scalar accumulators, so each 16-wide load of a `B` row feeds four
+//! fused multiply-adds and `C` is written once per panel instead of once
+//! per `k`-step. The 8/16-lane inner loops are written over constant-length
+//! slices so LLVM lowers them to full-width SIMD without per-element bounds
+//! checks or branches.
+//!
+//! The dense path carries **no** per-element `if av == 0.0` skip. TGAT's
+//! layer-0 inputs are zero node-feature rows concatenated with dense time
+//! encodings, so sparsity appears as a contiguous zero *prefix/suffix* of
+//! each `A` row; a per-row pre-scan ([`nonzero_span`]) shrinks the `k`
+//! range once, and the inner loops stay branch-free.
+//!
+//! Every kernel keeps a naive triple-loop twin in [`reference`] for
+//! equivalence testing, and a `*_forced` entry point that pins the
+//! serial/parallel dispatch for exact-agreement tests.
 
 use crate::{Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
 
 /// How many rows of the output each parallel task computes.
-const ROW_BLOCK: usize = 32;
+///
+/// Retuned for the register-tiled kernels (see DESIGN.md "Kernel
+/// architecture"): a multiple of the row-quad height `MR`, big enough that
+/// a task amortizes dispatch, small enough to load-balance ragged shapes.
+pub const ROW_BLOCK: usize = 32;
+
+/// Row-block height of the microkernel (rows of `A` per register tile).
+pub const MR: usize = 4;
+
+/// Column-panel width of the microkernel (columns of `C` per register
+/// tile); two 8-lane vectors, or one 16-lane vector on AVX-512.
+pub const NR: usize = 16;
+
+/// Dot product with two independent 8-lane accumulator banks.
+///
+/// The banks break the additive dependency chain so LLVM can keep two
+/// vector accumulators in flight; the scalar tail handles `len % 16`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = [0.0f32; 8];
+    let mut acc1 = [0.0f32; 8];
+    let mut ca = a.chunks_exact(16);
+    let mut cb = b.chunks_exact(16);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..8 {
+            acc0[j] += xa[j] * xb[j];
+        }
+        for j in 0..8 {
+            acc1[j] += xa[8 + j] * xb[8 + j];
+        }
+    }
+    let mut s = 0.0;
+    for j in 0..8 {
+        s += acc0[j] + acc1[j];
+    }
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        s += xa * xb;
+    }
+    s
+}
+
+/// `y += alpha * x`, 8-lane unrolled.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut cy = y.chunks_exact_mut(8);
+    let mut cx = x.chunks_exact(8);
+    for (yy, xx) in (&mut cy).zip(&mut cx) {
+        for j in 0..8 {
+            yy[j] += alpha * xx[j];
+        }
+    }
+    for (yy, xx) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yy += alpha * xx;
+    }
+}
+
+/// `y += a0*x0 + a1*x1 + a2*x2 + a3*x3`, 8-lane unrolled.
+///
+/// Fusing four axpys loads and stores each element of `y` once instead of
+/// four times — the update kernel of [`matmul_tn`] and the attention
+/// weighted sum.
+#[inline]
+pub fn axpy4(al: [f32; 4], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32], y: &mut [f32]) {
+    debug_assert!(x0.len() == y.len() && x1.len() == y.len());
+    debug_assert!(x2.len() == y.len() && x3.len() == y.len());
+    let n = y.len();
+    let lanes = n - n % 8;
+    let mut j = 0;
+    while j < lanes {
+        // Constant-length sub-slices so the inner loop is branch-free SIMD.
+        let yy = &mut y[j..j + 8];
+        let (c0, c1, c2, c3) = (&x0[j..j + 8], &x1[j..j + 8], &x2[j..j + 8], &x3[j..j + 8]);
+        for t in 0..8 {
+            yy[t] += al[0] * c0[t] + al[1] * c1[t] + al[2] * c2[t] + al[3] * c3[t];
+        }
+        j += 8;
+    }
+    while j < n {
+        y[j] += al[0] * x0[j] + al[1] * x1[j] + al[2] * x2[j] + al[3] * x3[j];
+        j += 1;
+    }
+}
+
+/// Nonzero column span `[lo, hi)` of a row; `(0, 0)` when entirely zero.
+///
+/// This is the pre-scan that replaces the old per-element `if av == 0.0`
+/// branch: TGAT's zero node features produce zero row *prefixes* after
+/// `[h | e | Phi]` concatenation, which a span captures exactly while the
+/// dense inner loops stay branch-free.
+#[inline]
+fn nonzero_span(row: &[f32]) -> (usize, usize) {
+    let lo = match row.iter().position(|&v| v != 0.0) {
+        Some(i) => i,
+        None => return (0, 0),
+    };
+    let hi = row.iter().rposition(|&v| v != 0.0).map_or(lo, |i| i + 1);
+    (lo, hi)
+}
+
+/// The 4×16 register-tile microkernel: accumulates
+/// `C[r, off..off+w] += A[r, lo..hi] * B[lo..hi, off..off+w]` for the
+/// `rows` live rows of one row-quad. `w <= NR`; the full-panel case
+/// (`w == NR`) compiles to constant-trip SIMD loops.
+#[inline]
+fn quad_panel(
+    a: &[&[f32]; MR],
+    rows: usize,
+    b: &[f32],
+    n: usize,
+    span: (usize, usize),
+    c: &mut [f32],
+    off: usize,
+    w: usize,
+) {
+    debug_assert!(w <= NR && off + w <= n);
+    let mut acc = [[0.0f32; NR]; MR];
+    if w == NR {
+        for kk in span.0..span.1 {
+            let base = kk * n + off;
+            let bp = &b[base..base + NR];
+            let av = [a[0][kk], a[1][kk], a[2][kk], a[3][kk]];
+            for r in 0..MR {
+                for j in 0..NR {
+                    acc[r][j] += av[r] * bp[j];
+                }
+            }
+        }
+    } else {
+        for kk in span.0..span.1 {
+            let base = kk * n + off;
+            let bp = &b[base..base + w];
+            let av = [a[0][kk], a[1][kk], a[2][kk], a[3][kk]];
+            for r in 0..MR {
+                for j in 0..w {
+                    acc[r][j] += av[r] * bp[j];
+                }
+            }
+        }
+    }
+    for r in 0..rows {
+        let crow = &mut c[r * n + off..r * n + off + w];
+        for j in 0..w {
+            crow[j] += acc[r][j];
+        }
+    }
+}
+
+/// Computes one row-quad of `C += A * B`: `c` holds `rows` output rows
+/// (`rows <= MR`); missing quad rows alias row 0 and are computed but never
+/// stored.
+fn mm_quad(a: [&[f32]; MR], rows: usize, b: &[f32], n: usize, c: &mut [f32]) {
+    // Union span over the live rows: one pre-scan per row per quad.
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for row in a.iter().take(rows) {
+        let (l, h) = nonzero_span(row);
+        if l < h {
+            lo = lo.min(l);
+            hi = hi.max(h);
+        }
+    }
+    if lo >= hi {
+        return; // all live rows zero: C rows keep their initial value
+    }
+    let mut off = 0;
+    while off + NR <= n {
+        quad_panel(&a, rows, b, n, (lo, hi), c, off, NR);
+        off += NR;
+    }
+    if off < n {
+        quad_panel(&a, rows, b, n, (lo, hi), c, off, n - off);
+    }
+}
+
+/// Accumulates `C += A * B` over the row range covered by `c_rows` (which
+/// starts at row `base` of the full output).
+fn mm_rows(a: &Tensor, b: &[f32], n: usize, base: usize, c_rows: &mut [f32]) {
+    let nrows = if n == 0 { 0 } else { c_rows.len() / n };
+    let mut r = 0;
+    while r < nrows {
+        let rows = (nrows - r).min(MR);
+        let a0 = a.row(base + r);
+        let a1 = a.row(base + r + (1).min(rows - 1));
+        let a2 = a.row(base + r + (2).min(rows - 1));
+        let a3 = a.row(base + r + (3).min(rows - 1));
+        mm_quad([a0, a1, a2, a3], rows, b, n, &mut c_rows[r * n..(r + rows) * n]);
+        r += rows;
+    }
+}
 
 /// `C[m,n] = A[m,k] * B[k,n]`.
-///
-/// Uses the cache-friendly `i-k-j` loop order so the inner loop streams a row
-/// of `B` and a row of `C`, which LLVM auto-vectorizes. Row blocks are
-/// distributed over the rayon pool when the output is large enough.
 ///
 /// # Panics
 /// Panics if `A.cols() != B.rows()`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
-    let (k2, n) = b.shape();
-    assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+    let work = m * b.cols() * k;
+    matmul_forced(a, b, work >= PAR_THRESHOLD && m > 1)
+}
+
+/// [`matmul`] with the serial/parallel dispatch pinned (exact-agreement
+/// tests; not part of the stable API).
+#[doc(hidden)]
+pub fn matmul_forced(a: &Tensor, b: &Tensor, parallel: bool) -> Tensor {
+    let (m, _) = a.shape();
+    let n = b.cols();
     let mut c = Tensor::zeros(m, n);
-    let work = m * n * k;
-    let bs = b.as_slice();
-    if work < PAR_THRESHOLD || m == 1 {
-        for i in 0..m {
-            mm_row(a.row(i), bs, c.row_mut(i), k, n);
-        }
-    } else {
-        c.as_mut_slice()
-            .par_chunks_mut(ROW_BLOCK * n)
-            .enumerate()
-            .for_each(|(blk, c_chunk)| {
-                let base = blk * ROW_BLOCK;
-                for (r, c_row) in c_chunk.chunks_mut(n).enumerate() {
-                    mm_row(a.row(base + r), bs, c_row, k, n);
-                }
-            });
-    }
+    matmul_accumulate(a, b, &mut c, parallel);
     c
 }
 
-/// Computes one output row: `c_row += a_row * B`.
-#[inline]
-fn mm_row(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
-    for (kk, &av) in a_row.iter().enumerate().take(k) {
-        if av == 0.0 {
-            continue; // zero node features are common in TGAT layer 0
-        }
-        let b_row = &b[kk * n..kk * n + n];
-        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-            *cv += av * bv;
-        }
+/// [`matmul`] into a preallocated `[A.rows(), B.cols()]` destination; prior
+/// contents are overwritten.
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, _) = a.shape();
+    let n = b.cols();
+    let work = m * n * a.cols();
+    c.as_mut_slice().fill(0.0);
+    matmul_accumulate(a, b, c, work >= PAR_THRESHOLD && m > 1);
+}
+
+/// `C = A * B + bias` (bias broadcast over rows) — the fused linear-layer
+/// kernel: the bias seeds the output instead of a separate add pass.
+///
+/// # Panics
+/// Panics if shapes disagree or `bias` is not `1 x B.cols()`.
+pub fn addmm(a: &Tensor, b: &Tensor, bias: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(a.rows(), b.cols());
+    addmm_into(a, b, bias, &mut c);
+    c
+}
+
+/// [`addmm`] writing into a preallocated `c` (any prior contents are
+/// overwritten). `c` must already have shape `[A.rows(), B.cols()]`.
+pub fn addmm_into(a: &Tensor, b: &Tensor, bias: &Tensor, c: &mut Tensor) {
+    assert_eq!(bias.rows(), 1, "addmm: bias must be a row vector");
+    assert_eq!(bias.cols(), b.cols(), "addmm: bias width must match B");
+    assert_eq!(c.shape(), (a.rows(), b.cols()), "addmm: bad output shape");
+    let (m, n) = c.shape();
+    let work = m * n * a.cols();
+    let bias_row = bias.as_slice();
+    for r in 0..m {
+        c.row_mut(r).copy_from_slice(bias_row);
     }
+    matmul_accumulate(a, b, c, work >= PAR_THRESHOLD && m > 1);
+}
+
+/// `C += A * B` into an existing, correctly-shaped output.
+fn matmul_accumulate(a: &Tensor, b: &Tensor, c: &mut Tensor, parallel: bool) {
+    matmul_accumulate_blocked(a, b, c, parallel, ROW_BLOCK);
+}
+
+/// [`matmul_accumulate`] with an explicit task height; only the tuning
+/// example (`examples/tune.rs`) and tests pass anything but [`ROW_BLOCK`].
+fn matmul_accumulate_blocked(
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+    parallel: bool,
+    row_block: usize,
+) {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+    assert_eq!(c.shape(), (m, n), "matmul: bad output shape");
+    if m == 0 || n == 0 || k == 0 {
+        return; // degenerate shapes: explicit early return, output untouched
+    }
+    let bs = b.as_slice();
+    if !parallel {
+        mm_rows(a, bs, n, 0, c.as_mut_slice());
+    } else {
+        c.as_mut_slice()
+            .par_chunks_mut(row_block * n)
+            .enumerate()
+            .for_each(|(blk, c_chunk)| mm_rows(a, bs, n, blk * row_block, c_chunk));
+    }
+}
+
+/// [`matmul`] with the parallel path pinned on and an explicit task height.
+/// Exists solely so `examples/tune.rs` can measure [`ROW_BLOCK`] candidates
+/// against each other; not part of the stable API.
+#[doc(hidden)]
+pub fn matmul_with_row_block(a: &Tensor, b: &Tensor, row_block: usize) -> Tensor {
+    assert!(row_block > 0, "row_block must be positive");
+    let mut c = Tensor::zeros(a.rows(), b.cols());
+    matmul_accumulate_blocked(a, b, &mut c, true, row_block);
+    c
 }
 
 /// `C[m,n] = A[m,k] * B^T` where `B` is stored as `[n, k]`.
@@ -66,25 +332,32 @@ fn mm_row(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
 /// natural layout for attention scores (`Q * K^T`).
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
+    let work = m * b.rows() * k;
+    matmul_nt_forced(a, b, work >= PAR_THRESHOLD && m > 1)
+}
+
+/// [`matmul_nt`] with the dispatch pinned (exact-agreement tests).
+#[doc(hidden)]
+pub fn matmul_nt_forced(a: &Tensor, b: &Tensor, parallel: bool) -> Tensor {
+    let (m, k) = a.shape();
     let (n, k2) = b.shape();
     assert_eq!(k, k2, "matmul_nt: inner dimensions differ ({k} vs {k2})");
     let mut c = Tensor::zeros(m, n);
-    let work = m * n * k;
-    if work < PAR_THRESHOLD || m == 1 {
+    if m == 0 || n == 0 {
+        return c;
+    }
+    let body = |i: usize, crow: &mut [f32]| {
+        let ar = a.row(i);
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv = dot(ar, b.row(j));
+        }
+    };
+    if !parallel {
         for i in 0..m {
-            let ar = a.row(i);
-            let crow = c.row_mut(i);
-            for (j, cv) in crow.iter_mut().enumerate() {
-                *cv = dot(ar, b.row(j));
-            }
+            body(i, c.row_mut(i));
         }
     } else {
-        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-            let ar = a.row(i);
-            for (j, cv) in crow.iter_mut().enumerate() {
-                *cv = dot(ar, b.row(j));
-            }
-        });
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
     }
     c
 }
@@ -95,61 +368,60 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// (`dW = X^T * dY`). Parallelized over rows of the output (columns of `A`).
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
+    let work = m * b.cols() * k;
+    matmul_tn_forced(a, b, work >= PAR_THRESHOLD && k > 1)
+}
+
+/// [`matmul_tn`] with the dispatch pinned (exact-agreement tests).
+#[doc(hidden)]
+pub fn matmul_tn_forced(a: &Tensor, b: &Tensor, parallel: bool) -> Tensor {
+    let (m, k) = a.shape();
     let (m2, n) = b.shape();
     assert_eq!(m, m2, "matmul_tn: outer dimensions differ ({m} vs {m2})");
     let mut c = Tensor::zeros(k, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
     let asl = a.as_slice();
-    let work = m * n * k;
+    let quads = m - m % MR;
     let body = |i: usize, crow: &mut [f32]| {
-        for r in 0..m {
-            let av = asl[r * k + i];
-            if av == 0.0 {
-                continue;
-            }
-            for (cv, &bv) in crow.iter_mut().zip(b.row(r)) {
-                *cv += av * bv;
-            }
+        let mut r = 0;
+        while r < quads {
+            let al = [
+                asl[r * k + i],
+                asl[(r + 1) * k + i],
+                asl[(r + 2) * k + i],
+                asl[(r + 3) * k + i],
+            ];
+            axpy4(al, b.row(r), b.row(r + 1), b.row(r + 2), b.row(r + 3), crow);
+            r += MR;
+        }
+        while r < m {
+            axpy(asl[r * k + i], b.row(r), crow);
+            r += 1;
         }
     };
-    if work < PAR_THRESHOLD || k == 1 {
+    if !parallel {
         for i in 0..k {
             body(i, c.row_mut(i));
         }
     } else {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, crow)| body(i, crow));
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
     }
     c
 }
 
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // Four accumulators break the dependency chain so LLVM can vectorize.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
-    }
-    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        s += a[i] * b[i];
-    }
-    s
-}
+/// Naive triple-loop twins of every matmul-family kernel.
+///
+/// These are the semantics the optimized kernels must reproduce; the unit
+/// and property tests (`tests/prop_kernels.rs`) compare against them within
+/// 1e-5. Deliberately unoptimized — change them only when the *meaning* of
+/// a kernel changes.
+pub mod reference {
+    use crate::Tensor;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Straightforward triple-loop reference used to validate the kernels.
-    fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    /// Reference `C = A * B`.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = a.shape();
         let n = b.cols();
         let mut c = Tensor::zeros(m, n);
@@ -164,6 +436,57 @@ mod tests {
         }
         c
     }
+
+    /// Reference `C = A * B^T` (B stored `[n, k]`).
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let n = b.rows();
+        let mut c = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.get(i, kk) * b.get(j, kk);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    /// Reference `C = A^T * B` (A stored `[m, k]`).
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Tensor::zeros(k, n);
+        for i in 0..k {
+            for j in 0..n {
+                let mut s = 0.0;
+                for r in 0..m {
+                    s += a.get(r, i) * b.get(r, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    /// Reference `C = A * B + bias`.
+    pub fn addmm(a: &Tensor, b: &Tensor, bias: &Tensor) -> Tensor {
+        let mut c = matmul(a, b);
+        for r in 0..c.rows() {
+            for j in 0..c.cols() {
+                let v = c.get(r, j) + bias.get(0, j);
+                c.set(r, j, v);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
 
     fn seq_tensor(rows: usize, cols: usize, scale: f32) -> Tensor {
         let data = (0..rows * cols)
@@ -188,7 +511,21 @@ mod tests {
         let a = seq_tensor(3, 4, 1.0);
         let b = seq_tensor(4, 5, 2.0);
         let c = matmul(&a, &b);
-        assert!(c.max_abs_diff(&reference_matmul(&a, &b)) < 1e-5);
+        assert!(c.max_abs_diff(&reference::matmul(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_matches_reference_odd_shapes() {
+        // Shapes straddling the MR/NR tile sizes: quad tails, panel tails.
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 17), (4, 16, 16), (6, 3, 33), (9, 40, 15)] {
+            let a = seq_tensor(m, k, 1.0);
+            let b = seq_tensor(k, n, 1.0);
+            let c = matmul(&a, &b);
+            assert!(
+                c.max_abs_diff(&reference::matmul(&a, &b)) < 1e-5,
+                "({m},{k},{n}) diverged"
+            );
+        }
     }
 
     #[test]
@@ -196,7 +533,44 @@ mod tests {
         let a = seq_tensor(130, 64, 1.0);
         let b = seq_tensor(64, 48, 1.0);
         let c = matmul(&a, &b);
-        assert!(c.max_abs_diff(&reference_matmul(&a, &b)) < 1e-4);
+        assert!(c.max_abs_diff(&reference::matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_skips_zero_spans() {
+        // Zero prefix/suffix rows (the TGAT layer-0 shape) and fully-zero
+        // rows must give exactly the dense result.
+        let mut a = seq_tensor(5, 12, 1.0);
+        for j in 0..6 {
+            a.set(0, j, 0.0); // zero prefix
+            a.set(1, 6 + j, 0.0); // zero suffix
+        }
+        for j in 0..12 {
+            a.set(2, j, 0.0); // fully zero row
+        }
+        let b = seq_tensor(12, 20, 1.0);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&reference::matmul(&a, &b)) < 1e-5);
+        assert!(c.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn addmm_fuses_bias() {
+        let a = seq_tensor(7, 9, 1.0);
+        let b = seq_tensor(9, 21, 1.0);
+        let bias = seq_tensor(1, 21, 0.5);
+        let c = addmm(&a, &b, &bias);
+        assert!(c.max_abs_diff(&reference::addmm(&a, &b, &bias)) < 1e-5);
+    }
+
+    #[test]
+    fn addmm_into_overwrites_stale_contents(){
+        let a = seq_tensor(3, 4, 1.0);
+        let b = seq_tensor(4, 5, 1.0);
+        let bias = seq_tensor(1, 5, 1.0);
+        let mut c = Tensor::full(3, 5, 777.0);
+        addmm_into(&a, &b, &bias, &mut c);
+        assert!(c.max_abs_diff(&reference::addmm(&a, &b, &bias)) < 1e-5);
     }
 
     #[test]
@@ -236,6 +610,61 @@ mod tests {
     }
 
     #[test]
+    fn forced_serial_and_parallel_agree_exactly() {
+        let a = seq_tensor(70, 33, 1.0);
+        let b = seq_tensor(33, 29, 1.0);
+        assert_eq!(
+            matmul_forced(&a, &b, false).as_slice(),
+            matmul_forced(&a, &b, true).as_slice()
+        );
+        let bt = seq_tensor(29, 33, 1.0);
+        assert_eq!(
+            matmul_nt_forced(&a, &bt, false).as_slice(),
+            matmul_nt_forced(&a, &bt, true).as_slice()
+        );
+        let b2 = seq_tensor(70, 29, 1.0);
+        assert_eq!(
+            matmul_tn_forced(&a, &b2, false).as_slice(),
+            matmul_tn_forced(&a, &b2, true).as_slice()
+        );
+    }
+
+    #[test]
+    fn microkernels_match_naive() {
+        let x: Vec<f32> = (0..37).map(|i| (i as f32 * 0.31).cos()).collect();
+        let y: Vec<f32> = (0..37).map(|i| (i as f32 * 0.17).sin()).collect();
+        let naive: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-5);
+
+        let mut out = y.clone();
+        axpy(0.5, &x, &mut out);
+        for j in 0..37 {
+            assert!((out[j] - (y[j] + 0.5 * x[j])).abs() < 1e-6);
+        }
+
+        let mut out4 = y.clone();
+        axpy4([0.1, 0.2, 0.3, 0.4], &x, &x, &y, &y, &mut out4);
+        for j in 0..37 {
+            let want = y[j] + 0.1 * x[j] + 0.2 * x[j] + 0.3 * y[j] + 0.4 * y[j];
+            assert!((out4[j] - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn row_block_variants_agree_exactly() {
+        let a = seq_tensor(70, 33, 1.0);
+        let b = seq_tensor(33, 29, 1.0);
+        let want = matmul_forced(&a, &b, false);
+        for rb in [1, 4, 8, 16, 32, 64, 128] {
+            assert_eq!(
+                matmul_with_row_block(&a, &b, rb).as_slice(),
+                want.as_slice(),
+                "row_block {rb} diverged"
+            );
+        }
+    }
+
+    #[test]
     fn identity_multiplication() {
         let a = seq_tensor(4, 4, 1.0);
         let mut eye = Tensor::zeros(4, 4);
@@ -253,8 +682,19 @@ mod tests {
     }
 
     #[test]
-    fn empty_edges() {
-        let c = matmul(&Tensor::zeros(0, 3), &Tensor::zeros(3, 2));
-        assert_eq!(c.shape(), (0, 2));
+    fn zero_row_and_zero_col_edges() {
+        // 0-row / 0-col / 0-inner shapes across the whole family: explicit
+        // early returns, never a panic or a bogus chunk size.
+        assert_eq!(matmul(&Tensor::zeros(0, 3), &Tensor::zeros(3, 2)).shape(), (0, 2));
+        assert_eq!(matmul(&Tensor::zeros(2, 3), &Tensor::zeros(3, 0)).shape(), (2, 0));
+        assert_eq!(matmul(&Tensor::zeros(2, 0), &Tensor::zeros(0, 3)).shape(), (2, 3));
+        assert_eq!(matmul_nt(&Tensor::zeros(0, 3), &Tensor::zeros(2, 3)).shape(), (0, 2));
+        assert_eq!(matmul_nt(&Tensor::zeros(2, 0), &Tensor::zeros(3, 0)).shape(), (2, 3));
+        assert_eq!(matmul_tn(&Tensor::zeros(0, 2), &Tensor::zeros(0, 3)).shape(), (2, 3));
+        assert_eq!(matmul_tn(&Tensor::zeros(3, 2), &Tensor::zeros(3, 0)).shape(), (2, 0));
+        let z = matmul(&Tensor::zeros(2, 0), &Tensor::zeros(0, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let bias = Tensor::zeros(1, 0);
+        assert_eq!(addmm(&Tensor::zeros(2, 3), &Tensor::zeros(3, 0), &bias).shape(), (2, 0));
     }
 }

@@ -1,6 +1,13 @@
 //! Elementwise kernels, reductions, masked softmax, concatenation and
 //! row gathering — the non-matmul operations TGAT needs.
+//!
+//! Most operators come in two forms: an allocating convenience wrapper and
+//! an `_into` / `_inplace` variant that writes into a caller-provided
+//! destination (usually a [`crate::scratch::Scratch`] buffer). The hot path
+//! uses the latter so a steady-state attention batch touches the allocator
+//! O(1) times; the wrappers keep call sites outside the hot path readable.
 
+use crate::matmul::{axpy, dot};
 use crate::{Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
 
@@ -19,8 +26,13 @@ pub fn map_inplace(t: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) {
 /// Returns `relu(t)`.
 pub fn relu(t: &Tensor) -> Tensor {
     let mut out = t.clone();
-    map_inplace(&mut out, |v| v.max(0.0));
+    relu_inplace(&mut out);
     out
+}
+
+/// `relu` without the copy.
+pub fn relu_inplace(t: &mut Tensor) {
+    map_inplace(t, |v| v.max(0.0));
 }
 
 /// Returns `sigmoid(t)`.
@@ -69,28 +81,53 @@ pub fn scale(t: &Tensor, s: f32) -> Tensor {
 
 /// Adds a `1 x cols` bias row to every row of `t`.
 pub fn add_bias(t: &Tensor, bias: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    add_bias_inplace(&mut out, bias);
+    out
+}
+
+/// `add_bias` without the copy.
+///
+/// Zero-column (or zero-row) tensors are a no-op: there are no elements to
+/// add to, and an explicit early return keeps the `chunks_mut` below away
+/// from a zero chunk size.
+pub fn add_bias_inplace(t: &mut Tensor, bias: &Tensor) {
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
     assert_eq!(bias.cols(), t.cols(), "bias width must match tensor width");
-    let mut out = t.clone();
+    let cols = t.cols();
+    if t.is_empty() {
+        return;
+    }
     let b = bias.as_slice();
-    let cols = out.cols();
-    for row in out.as_mut_slice().chunks_mut(cols.max(1)) {
+    for row in t.as_mut_slice().chunks_mut(cols) {
         for (o, &bv) in row.iter_mut().zip(b) {
             *o += bv;
         }
     }
-    out
 }
 
 /// Concatenates tensors side by side (same row count).
 pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    let rows = parts.first().map_or(0, |p| p.rows());
+    let total: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut out = Tensor::zeros(rows, total);
+    concat_cols_into(parts, &mut out);
+    out
+}
+
+/// [`concat_cols`] into a preallocated `[rows, sum(cols)]` destination.
+///
+/// Every output element is written exactly once (no zero-fill pass), which
+/// is what makes this the right way to build the attention inputs
+/// `[h | e | Phi]` inside scratch buffers.
+pub fn concat_cols_into(parts: &[&Tensor], out: &mut Tensor) {
     assert!(!parts.is_empty(), "concat_cols needs at least one part");
     let rows = parts[0].rows();
     for p in parts {
         assert_eq!(p.rows(), rows, "concat_cols: row count mismatch");
     }
     let total: usize = parts.iter().map(|p| p.cols()).sum();
-    let mut out = Tensor::zeros(rows, total);
+    assert_eq!(out.shape(), (rows, total), "concat_cols_into: bad output shape");
     for r in 0..rows {
         let orow = out.row_mut(r);
         let mut off = 0;
@@ -100,7 +137,6 @@ pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
             off += w;
         }
     }
-    out
 }
 
 /// Stacks tensors on top of each other (same column count).
@@ -119,8 +155,19 @@ pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
 
 /// Gathers rows of `src` by index: `out.row(i) = src.row(idx[i])`.
 pub fn gather_rows(src: &Tensor, idx: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(idx.len(), src.cols());
+    gather_rows_into(src, idx, &mut out);
+    out
+}
+
+/// [`gather_rows`] into a preallocated `[idx.len(), src.cols()]`
+/// destination; prior contents are overwritten.
+pub fn gather_rows_into(src: &Tensor, idx: &[usize], out: &mut Tensor) {
     let cols = src.cols();
-    let mut out = Tensor::zeros(idx.len(), cols);
+    assert_eq!(out.shape(), (idx.len(), cols), "gather_rows_into: bad output shape");
+    if out.is_empty() {
+        return;
+    }
     if idx.len() * cols < PAR_THRESHOLD {
         for (i, &r) in idx.iter().enumerate() {
             out.row_mut(i).copy_from_slice(src.row(r));
@@ -131,7 +178,6 @@ pub fn gather_rows(src: &Tensor, idx: &[usize]) -> Tensor {
             .zip(idx.par_iter())
             .for_each(|(orow, &r)| orow.copy_from_slice(src.row(r)));
     }
-    out
 }
 
 /// Splits the first `n` rows off a tensor, returning `(head, tail)`.
@@ -143,15 +189,43 @@ pub fn split_rows(t: &Tensor, n: usize) -> (Tensor, Tensor) {
     (head, tail)
 }
 
+/// [`split_rows`] into two preallocated destinations of shapes
+/// `[n, cols]` and `[t.rows()-n, cols]`.
+pub fn split_rows_into(t: &Tensor, n: usize, head: &mut Tensor, tail: &mut Tensor) {
+    assert!(n <= t.rows(), "split point beyond row count");
+    let cols = t.cols();
+    assert_eq!(head.shape(), (n, cols), "split_rows_into: bad head shape");
+    assert_eq!(tail.shape(), (t.rows() - n, cols), "split_rows_into: bad tail shape");
+    head.as_mut_slice().copy_from_slice(&t.as_slice()[..n * cols]);
+    tail.as_mut_slice().copy_from_slice(&t.as_slice()[n * cols..]);
+}
+
 /// Masked row softmax used by the attention operator.
 ///
 /// `mask[r * cols + c] == false` marks a padding slot whose weight must be
 /// exactly zero. Rows whose slots are all masked produce all-zero weights
 /// (a node with no temporal neighbors aggregates nothing).
 pub fn softmax_rows_masked(t: &Tensor, mask: &[bool]) -> Tensor {
+    let mut out = t.clone();
+    scale_softmax_rows_masked_inplace(&mut out, 1.0, mask);
+    out
+}
+
+/// Fused `softmax_rows(masked(scale * t))`, in place.
+///
+/// The scale is folded into the exponent — `exp(s*v - max(s*v))` equals
+/// `exp((v - max_v) * s)` for `s > 0` — so the scores tensor is read and
+/// written once instead of taking a separate scaling pass. This is the form
+/// the attention operator wants: `softmax(QK^T / sqrt(d))` with the mask
+/// marking padded neighbor slots.
+pub fn scale_softmax_rows_masked_inplace(t: &mut Tensor, s: f32, mask: &[bool]) {
+    assert!(s > 0.0, "softmax scale must be positive (got {s})");
     assert_eq!(mask.len(), t.len(), "mask length must match tensor size");
     let cols = t.cols();
-    let mut out = t.clone();
+    if t.is_empty() {
+        return; // zero rows or zero cols: nothing to normalize
+    }
+    let len = t.len();
     let body = |(row, mrow): (&mut [f32], &[bool])| {
         let mut max = f32::NEG_INFINITY;
         for (v, &m) in row.iter().zip(mrow) {
@@ -166,7 +240,7 @@ pub fn softmax_rows_masked(t: &Tensor, mask: &[bool]) -> Tensor {
         let mut sum = 0.0;
         for (v, &m) in row.iter_mut().zip(mrow) {
             if m {
-                *v = (*v - max).exp();
+                *v = ((*v - max) * s).exp();
                 sum += *v;
             } else {
                 *v = 0.0;
@@ -175,18 +249,14 @@ pub fn softmax_rows_masked(t: &Tensor, mask: &[bool]) -> Tensor {
         let inv = 1.0 / sum;
         row.iter_mut().for_each(|v| *v *= inv);
     };
-    if t.len() < PAR_THRESHOLD {
-        out.as_mut_slice()
-            .chunks_mut(cols)
-            .zip(mask.chunks(cols))
-            .for_each(body);
+    if len < PAR_THRESHOLD {
+        t.as_mut_slice().chunks_mut(cols).zip(mask.chunks(cols)).for_each(body);
     } else {
-        out.as_mut_slice()
+        t.as_mut_slice()
             .par_chunks_mut(cols)
             .zip(mask.par_chunks(cols))
             .for_each(body);
     }
-    out
 }
 
 /// Batched attention scores: `q` is `[N, d]`, `key` is `[N*K, d]`, result is
@@ -195,19 +265,35 @@ pub fn softmax_rows_masked(t: &Tensor, mask: &[bool]) -> Tensor {
 /// This is the hot kernel of the temporal attention operator `M`; each
 /// target's score row is independent, so rows are computed in parallel.
 pub fn attn_scores(q: &Tensor, key: &Tensor, scale: f32) -> Tensor {
-    let (n, d) = q.shape();
+    let n = q.rows();
     if n == 0 {
         return Tensor::zeros(0, 0);
+    }
+    let k = key.rows() / n;
+    let mut out = Tensor::zeros(n, k);
+    attn_scores_into(q, key, scale, &mut out);
+    out
+}
+
+/// [`attn_scores`] into a preallocated `[N, K]` destination; prior contents
+/// are overwritten. For `N == 0` the destination must have zero rows.
+pub fn attn_scores_into(q: &Tensor, key: &Tensor, scale: f32, out: &mut Tensor) {
+    let (n, d) = q.shape();
+    if n == 0 {
+        assert_eq!(out.rows(), 0, "attn_scores_into: bad output shape");
+        return;
     }
     assert_eq!(key.rows() % n, 0, "key rows must be a multiple of q rows");
     assert_eq!(key.cols(), d, "attn_scores dim mismatch");
     let k = key.rows() / n;
-    let mut out = Tensor::zeros(n, k);
+    assert_eq!(out.shape(), (n, k), "attn_scores_into: bad output shape");
+    if k == 0 {
+        return;
+    }
     let body = |i: usize, orow: &mut [f32]| {
         let qr = q.row(i);
         for (j, o) in orow.iter_mut().enumerate() {
-            let kr = key.row(i * k + j);
-            *o = qr.iter().zip(kr).map(|(a, b)| a * b).sum::<f32>() * scale;
+            *o = dot(qr, key.row(i * k + j)) * scale;
         }
     };
     if n * k * d < PAR_THRESHOLD {
@@ -220,25 +306,42 @@ pub fn attn_scores(q: &Tensor, key: &Tensor, scale: f32) -> Tensor {
             .enumerate()
             .for_each(|(i, orow)| body(i, orow));
     }
-    out
 }
 
 /// Batched weighted neighbor sum: `w` is `[N, K]`, `v` is `[N*K, d]`, result
 /// is `[N, d]` with `out_n = sum_k w[n,k] * v_{n*K+k}`.
 pub fn attn_weighted_sum(w: &Tensor, v: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(w.rows(), v.cols());
+    attn_weighted_sum_into(w, v, &mut out, 0);
+    out
+}
+
+/// [`attn_weighted_sum`] writing head output directly into the column block
+/// `[col_off, col_off + d)` of a wider `[N, D]` destination.
+///
+/// Multi-head attention concatenates per-head outputs; giving the sum a
+/// column offset writes each head straight into its slot of the concat
+/// buffer, eliminating the per-head temporary plus copy. The target block is
+/// zeroed first; the per-slot `weight == 0.0` skip is the masked-padding
+/// fast path (softmax writes exact zeros there), not a dense-path branch.
+pub fn attn_weighted_sum_into(w: &Tensor, v: &Tensor, out: &mut Tensor, col_off: usize) {
     let (n, k) = w.shape();
     assert_eq!(v.rows(), n * k, "value rows must equal N*K");
     let d = v.cols();
-    let mut out = Tensor::zeros(n, d);
-    let body = |i: usize, orow: &mut [f32]| {
+    assert_eq!(out.rows(), n, "attn_weighted_sum_into: row count mismatch");
+    assert!(col_off + d <= out.cols(), "attn_weighted_sum_into: column block out of range");
+    if n == 0 || d == 0 {
+        return;
+    }
+    let body = |i: usize, orow_full: &mut [f32]| {
+        let orow = &mut orow_full[col_off..col_off + d];
+        orow.fill(0.0);
         for j in 0..k {
             let weight = w.get(i, j);
             if weight == 0.0 {
                 continue; // masked padding slots
             }
-            for (o, &x) in orow.iter_mut().zip(v.row(i * k + j)) {
-                *o += weight * x;
-            }
+            axpy(weight, v.row(i * k + j), orow);
         }
     };
     if n * k * d < PAR_THRESHOLD {
@@ -246,12 +349,12 @@ pub fn attn_weighted_sum(w: &Tensor, v: &Tensor) -> Tensor {
             body(i, out.row_mut(i));
         }
     } else {
+        let cols = out.cols();
         out.as_mut_slice()
-            .par_chunks_mut(d)
+            .par_chunks_mut(cols)
             .enumerate()
             .for_each(|(i, orow)| body(i, orow));
     }
-    out
 }
 
 /// Sum of all elements.
@@ -305,6 +408,18 @@ mod tests {
     }
 
     #[test]
+    fn add_bias_zero_cols_and_rows() {
+        // The old implementation papered over cols == 0 with `cols.max(1)`;
+        // now it is an explicit no-op for any empty tensor.
+        let empty_cols = Tensor::zeros(3, 0);
+        let out = add_bias(&empty_cols, &Tensor::zeros(1, 0));
+        assert_eq!(out.shape(), (3, 0));
+        let empty_rows = Tensor::zeros(0, 4);
+        let out = add_bias(&empty_rows, &Tensor::row_vector(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(out.shape(), (0, 4));
+    }
+
+    #[test]
     fn concat_cols_layout() {
         let a = Tensor::from_vec(2, 1, vec![1.0, 2.0]);
         let b = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
@@ -312,6 +427,15 @@ mod tests {
         assert_eq!(c.shape(), (2, 3));
         assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
         assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_cols_into_overwrites_stale() {
+        let a = Tensor::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let mut out = Tensor::full(2, 3, 42.0);
+        concat_cols_into(&[&a, &b], &mut out);
+        assert_eq!(out.as_slice(), concat_cols(&[&a, &b]).as_slice());
     }
 
     #[test]
@@ -334,6 +458,24 @@ mod tests {
         assert_eq!(h.shape(), (1, 2));
         assert_eq!(t.shape(), (2, 2));
         assert_eq!(t.row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn split_rows_into_matches_split_rows() {
+        let src = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut head = Tensor::full(1, 2, 9.0);
+        let mut tail = Tensor::full(2, 2, 9.0);
+        split_rows_into(&src, 1, &mut head, &mut tail);
+        let (h, t) = split_rows(&src, 1);
+        assert_eq!(head.as_slice(), h.as_slice());
+        assert_eq!(tail.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn gather_rows_zero_cols() {
+        let src = Tensor::zeros(3, 0);
+        let g = gather_rows(&src, &[0, 2, 1, 1]);
+        assert_eq!(g.shape(), (4, 0));
     }
 
     #[test]
@@ -373,6 +515,50 @@ mod tests {
         let a = softmax_rows_masked(&t, &mask);
         let b = softmax_rows_masked(&shifted, &mask);
         assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn fused_scale_softmax_matches_composition() {
+        let t = Tensor::from_vec(2, 4, vec![1.0, -2.0, 0.5, 3.0, 0.0, 0.0, 1.0, -1.0]);
+        let mask = vec![true, true, false, true, true, false, true, true];
+        let s = 0.25;
+        let mut fused = t.clone();
+        scale_softmax_rows_masked_inplace(&mut fused, s, &mask);
+        let composed = softmax_rows_masked(&scale(&t, s), &mask);
+        assert!(fused.max_abs_diff(&composed) < 1e-6);
+    }
+
+    #[test]
+    fn fused_scale_softmax_zero_shapes() {
+        let mut t = Tensor::zeros(0, 3);
+        scale_softmax_rows_masked_inplace(&mut t, 1.0, &[]);
+        let mut t = Tensor::zeros(3, 0);
+        scale_softmax_rows_masked_inplace(&mut t, 1.0, &[]);
+    }
+
+    #[test]
+    fn attn_weighted_sum_into_column_block() {
+        // Writing into a column block of a wider tensor must equal the
+        // standalone sum placed at that offset, leaving other columns alone.
+        let w = Tensor::from_vec(2, 2, vec![0.5, 0.5, 1.0, 0.0]);
+        let v = Tensor::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let standalone = attn_weighted_sum(&w, &v);
+        let mut wide = Tensor::full(2, 5, 7.0);
+        attn_weighted_sum_into(&w, &v, &mut wide, 2);
+        for i in 0..2 {
+            assert_eq!(&wide.row(i)[2..4], standalone.row(i));
+            assert_eq!(wide.row(i)[0], 7.0);
+            assert_eq!(wide.row(i)[4], 7.0);
+        }
+    }
+
+    #[test]
+    fn attn_kernels_zero_shapes() {
+        assert_eq!(attn_scores(&Tensor::zeros(0, 4), &Tensor::zeros(0, 4), 1.0).shape(), (0, 0));
+        let mut out = Tensor::zeros(0, 0);
+        attn_scores_into(&Tensor::zeros(0, 4), &Tensor::zeros(0, 4), 1.0, &mut out);
+        assert_eq!(attn_weighted_sum(&Tensor::zeros(0, 0), &Tensor::zeros(0, 3)).shape(), (0, 3));
+        assert_eq!(attn_weighted_sum(&Tensor::zeros(2, 1), &Tensor::zeros(2, 0)).shape(), (2, 0));
     }
 
     #[test]

@@ -3,11 +3,22 @@
 //! This is the raw (tape-free) forward used by both inference engines; the
 //! training path in [`crate::train`] records the identical computation on an
 //! autograd tape.
+//!
+//! The hot entry point is [`forward_with`], which threads a
+//! [`Scratch`] arena through the whole layer: every intermediate (`z_src`,
+//! `z_ngh`, per-head Q/K/V, scores, the FFN input/hidden) lives in recycled
+//! buffers, per-head outputs are written directly into their column block of
+//! the FFN input, and the fused `addmm` / `scale+mask+softmax` kernels avoid
+//! separate bias/scale passes. A steady-state batch therefore performs O(1)
+//! allocator calls (only the escaping output tensor, and none once its
+//! buffer cycles back through the pool). [`forward_reference`] keeps the
+//! original per-op allocating implementation as the semantic baseline for
+//! equivalence tests.
 
 use crate::config::TgatConfig;
 use crate::params::LayerParams;
-use tg_tensor::matmul::matmul;
-use tg_tensor::{ops, Tensor};
+use tg_tensor::matmul::{addmm_into, matmul, matmul_into};
+use tg_tensor::{ops, Scratch, Tensor};
 
 /// Inputs to one attention layer for a batch of `N` targets, each with `K`
 /// sampled neighbors (rows `i*K..(i+1)*K` of the `N*K` tensors).
@@ -28,17 +39,99 @@ pub struct AttentionInputs<'a> {
 
 /// Computes `h_i^{(l)}(t)` for every target (Eqs. 4–7). Returns `[N, dim]`.
 ///
+/// Convenience wrapper over [`forward_with`] with a throwaway scratch; the
+/// engines hold a long-lived [`Scratch`] and call [`forward_with`] directly.
+///
 /// # Panics
 /// Panics (in debug builds) on inconsistent input shapes.
 pub fn forward(layer: &LayerParams, cfg: &TgatConfig, inp: &AttentionInputs<'_>) -> Tensor {
+    let mut scratch = Scratch::new();
+    forward_with(layer, cfg, inp, &mut scratch)
+}
+
+/// [`forward`] with caller-provided scratch buffers (see module docs).
+///
+/// The returned tensor is owned by the caller; handing it back to the same
+/// `Scratch` later (via `give`) closes the recycling loop.
+pub fn forward_with(
+    layer: &LayerParams,
+    cfg: &TgatConfig,
+    inp: &AttentionInputs<'_>,
+    scratch: &mut Scratch,
+) -> Tensor {
     let n = inp.h_src.rows();
+    let nk = inp.h_ngh.rows();
     debug_assert_eq!(inp.ht0.rows(), n);
-    debug_assert_eq!(inp.h_ngh.rows() % n.max(1), 0);
-    debug_assert_eq!(inp.h_ngh.rows(), inp.e_feat.rows());
-    debug_assert_eq!(inp.h_ngh.rows(), inp.ht.rows());
-    debug_assert_eq!(inp.h_ngh.rows(), inp.mask.len());
+    debug_assert_eq!(nk % n.max(1), 0);
+    debug_assert_eq!(nk, inp.e_feat.rows());
+    debug_assert_eq!(nk, inp.ht.rows());
+    debug_assert_eq!(nk, inp.mask.len());
+
+    let out_dim = layer.fc2_w.cols();
+    if n == 0 {
+        return scratch.take(0, out_dim);
+    }
+    let k_per = nk / n;
 
     // Message creation: z_i = h_i || Phi(0); z_j = h_j || e_ij || Phi(dt).
+    // At layer 0 of the recursion h_ngh rows are raw node features, which
+    // are all-zero in the standard TGAT setup — the matmul below skips that
+    // zero prefix via its per-row span pre-scan.
+    let mut z_src = scratch.take(n, inp.h_src.cols() + inp.ht0.cols());
+    ops::concat_cols_into(&[inp.h_src, inp.ht0], &mut z_src);
+    let mut z_ngh = scratch.take(nk, inp.h_ngh.cols() + inp.e_feat.cols() + inp.ht.cols());
+    ops::concat_cols_into(&[inp.h_ngh, inp.e_feat, inp.ht], &mut z_ngh);
+
+    let scale = 1.0 / (cfg.head_dim() as f32).sqrt(); // lint: allow(lossy-cast, head_dim is a small config value)
+    let head_dim = cfg.head_dim();
+    let r_cols = layer.heads.len() * head_dim;
+
+    // ffn_in = [r || h_src]: head outputs land directly in their column
+    // block, so the multi-head concat never materializes separately.
+    let mut ffn_in = scratch.take(n, r_cols + inp.h_src.cols());
+    let mut q = scratch.take(n, head_dim);
+    let mut k = scratch.take(nk, head_dim);
+    let mut v = scratch.take(nk, head_dim);
+    let mut scores = scratch.take(n, k_per);
+    for (hidx, head) in layer.heads.iter().enumerate() {
+        matmul_into(&z_src, &head.wq, &mut q);
+        matmul_into(&z_ngh, &head.wk, &mut k);
+        matmul_into(&z_ngh, &head.wv, &mut v);
+        ops::attn_scores_into(&q, &k, 1.0, &mut scores);
+        ops::scale_softmax_rows_masked_inplace(&mut scores, scale, inp.mask);
+        ops::attn_weighted_sum_into(&scores, &v, &mut ffn_in, hidx * head_dim);
+    }
+    for i in 0..n {
+        ffn_in.row_mut(i)[r_cols..].copy_from_slice(inp.h_src.row(i));
+    }
+    scratch.give(scores);
+    scratch.give(v);
+    scratch.give(k);
+    scratch.give(q);
+    scratch.give(z_ngh);
+    scratch.give(z_src);
+
+    // Feature update: h = FFN(r || h_src)  (Eq. 7), with fused bias adds.
+    let mut hidden = scratch.take(n, layer.fc1_w.cols());
+    addmm_into(&ffn_in, &layer.fc1_w, &layer.fc1_b, &mut hidden);
+    ops::relu_inplace(&mut hidden);
+    scratch.give(ffn_in);
+    let mut out = scratch.take(n, out_dim);
+    addmm_into(&hidden, &layer.fc2_w, &layer.fc2_b, &mut out);
+    scratch.give(hidden);
+    out
+}
+
+/// The original one-allocation-per-op implementation of the layer.
+///
+/// Kept as the semantic reference for the scratch/fused hot path; the
+/// equivalence tests (here and in `tests/prop_kernels.rs`) require
+/// [`forward_with`] to match it within 1e-5 on random inputs.
+pub fn forward_reference(
+    layer: &LayerParams,
+    cfg: &TgatConfig,
+    inp: &AttentionInputs<'_>,
+) -> Tensor {
     let z_src = ops::concat_cols(&[inp.h_src, inp.ht0]);
     let z_ngh = ops::concat_cols(&[inp.h_ngh, inp.e_feat, inp.ht]);
 
@@ -55,7 +148,6 @@ pub fn forward(layer: &LayerParams, cfg: &TgatConfig, inp: &AttentionInputs<'_>)
     let refs: Vec<&Tensor> = head_outs.iter().collect();
     let r = ops::concat_cols(&refs); // [N, dim]
 
-    // Feature update: h = FFN(r || h_src)  (Eq. 7).
     let ffn_in = ops::concat_cols(&[&r, inp.h_src]);
     let hidden = ops::relu(&ops::add_bias(&matmul(&ffn_in, &layer.fc1_w), &layer.fc1_b));
     ops::add_bias(&matmul(&hidden, &layer.fc2_w), &layer.fc2_b)
@@ -91,6 +183,59 @@ mod tests {
         );
         assert_eq!(out.shape(), (5, cfg.dim));
         assert!(out.all_finite());
+    }
+
+    #[test]
+    fn scratch_forward_matches_reference() {
+        let (cfg, p, h_src, ht0, h_ngh, e_feat, ht) = setup(6);
+        let mut mask = vec![true; 6 * cfg.n_neighbors];
+        mask[3] = false;
+        mask[7] = false;
+        let inp =
+            AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh, e_feat: &e_feat, ht: &ht, mask: &mask };
+        let reference = forward_reference(&p.layers[0], &cfg, &inp);
+        let mut scratch = Scratch::new();
+        // Run twice through the same scratch: the second pass exercises
+        // reused (stale-content) buffers.
+        let first = forward_with(&p.layers[0], &cfg, &inp, &mut scratch);
+        scratch.give(first);
+        let second = forward_with(&p.layers[0], &cfg, &inp, &mut scratch);
+        assert!(second.max_abs_diff(&reference) < 1e-5);
+    }
+
+    #[test]
+    fn scratch_pool_reaches_steady_state() {
+        let (cfg, p, h_src, ht0, h_ngh, e_feat, ht) = setup(4);
+        let mask = vec![true; 4 * cfg.n_neighbors];
+        let inp =
+            AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh, e_feat: &e_feat, ht: &ht, mask: &mask };
+        let mut scratch = Scratch::new();
+        let out = forward_with(&p.layers[0], &cfg, &inp, &mut scratch);
+        scratch.give(out);
+        let cap_after_one = scratch.pooled_capacity();
+        for _ in 0..5 {
+            let out = forward_with(&p.layers[0], &cfg, &inp, &mut scratch);
+            scratch.give(out);
+        }
+        // Steady state: no new capacity is ever acquired after the first
+        // batch, i.e. every later batch runs entirely out of the pool.
+        assert_eq!(scratch.pooled_capacity(), cap_after_one);
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_output() {
+        let (cfg, p, ..) = setup(1);
+        let h_src = Tensor::zeros(0, cfg.dim);
+        let ht0 = Tensor::zeros(0, cfg.time_dim);
+        let h_ngh = Tensor::zeros(0, cfg.dim);
+        let e_feat = Tensor::zeros(0, cfg.edge_dim);
+        let ht = Tensor::zeros(0, cfg.time_dim);
+        let out = forward(
+            &p.layers[0],
+            &cfg,
+            &AttentionInputs { h_src: &h_src, ht0: &ht0, h_ngh: &h_ngh, e_feat: &e_feat, ht: &ht, mask: &[] },
+        );
+        assert_eq!(out.shape(), (0, cfg.dim));
     }
 
     #[test]

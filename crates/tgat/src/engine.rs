@@ -11,7 +11,7 @@ use crate::attention::{self, AttentionInputs};
 use crate::params::TgatParams;
 use crate::stats::{OpKind, OpStats};
 use tg_graph::{NodeId, TemporalGraph, TemporalSampler, Time, INVALID_EDGE};
-use tg_tensor::{ops, Tensor};
+use tg_tensor::{ops, Scratch, Tensor};
 
 /// Borrowed views of everything an engine reads: the evolving graph plus the
 /// static feature matrices.
@@ -31,6 +31,14 @@ impl<'a> GraphContext<'a> {
         ops::gather_rows(self.node_features, &idx)
     }
 
+    /// [`Self::gather_node_features`] into a scratch-provided destination.
+    pub fn gather_node_features_with(&self, ns: &[NodeId], scratch: &mut Scratch) -> Tensor {
+        let idx: Vec<usize> = ns.iter().map(|&n| n as usize).collect();
+        let mut out = scratch.take(idx.len(), self.node_features.cols());
+        ops::gather_rows_into(self.node_features, &idx, &mut out);
+        out
+    }
+
     /// Gathers edge feature rows; padding slots ([`INVALID_EDGE`]) read row 0
     /// — their contribution is masked out of the attention softmax, so any
     /// valid row works.
@@ -38,6 +46,15 @@ impl<'a> GraphContext<'a> {
         let idx: Vec<usize> =
             eids.iter().map(|&e| if e == INVALID_EDGE { 0 } else { e as usize }).collect();
         ops::gather_rows(self.edge_features, &idx)
+    }
+
+    /// [`Self::gather_edge_features`] into a scratch-provided destination.
+    pub fn gather_edge_features_with(&self, eids: &[u32], scratch: &mut Scratch) -> Tensor {
+        let idx: Vec<usize> =
+            eids.iter().map(|&e| if e == INVALID_EDGE { 0 } else { e as usize }).collect();
+        let mut out = scratch.take(idx.len(), self.edge_features.cols());
+        ops::gather_rows_into(self.edge_features, &idx, &mut out);
+        out
     }
 }
 
@@ -47,6 +64,9 @@ pub struct BaselineEngine<'a> {
     sampler: TemporalSampler,
     ctx: GraphContext<'a>,
     stats: OpStats,
+    /// Recycled per-batch buffers; owned by the engine so steady-state
+    /// batches run allocation-free (see `tg_tensor::scratch`).
+    scratch: Scratch,
 }
 
 impl<'a> BaselineEngine<'a> {
@@ -63,7 +83,7 @@ impl<'a> BaselineEngine<'a> {
         ctx: GraphContext<'a>,
         sampler: TemporalSampler,
     ) -> Self {
-        Self { params, sampler, ctx, stats: OpStats::disabled() }
+        Self { params, sampler, ctx, stats: OpStats::disabled(), scratch: Scratch::new() }
     }
 
     /// Turns on per-operation timing (Table 3 reproduction).
@@ -85,10 +105,10 @@ impl<'a> BaselineEngine<'a> {
     fn embed(&mut self, l: usize, ns: &[NodeId], ts: &[Time]) -> Tensor {
         debug_assert_eq!(ns.len(), ts.len());
         if l == 0 {
-            return self.ctx.gather_node_features(ns);
+            return self.ctx.gather_node_features_with(ns, &mut self.scratch);
         }
         if ns.is_empty() {
-            return Tensor::zeros(0, self.params.cfg.dim);
+            return self.scratch.take(0, self.params.cfg.dim);
         }
 
         let (graph, sampler) = (self.ctx.graph, &self.sampler);
@@ -103,20 +123,33 @@ impl<'a> BaselineEngine<'a> {
         all_ts.extend_from_slice(ts);
         all_ts.extend_from_slice(&nb.times);
         let h_all = self.embed(l - 1, &all_ns, &all_ts);
-        let (h_src, h_ngh) = ops::split_rows(&h_all, ns.len());
+        let mut h_src = self.scratch.take(ns.len(), h_all.cols());
+        let mut h_ngh = self.scratch.take(nb.nodes.len(), h_all.cols());
+        ops::split_rows_into(&h_all, ns.len(), &mut h_src, &mut h_ngh);
+        self.scratch.give(h_all);
 
         let params = self.params;
-        let ht0 = self
-            .stats
-            .time(OpKind::TimeEncodeZero, || params.time.encode_zeros(ns.len()));
-        let ht = self.stats.time(OpKind::TimeEncodeDt, || params.time.encode(&nb.dts));
-        let e_feat = self.ctx.gather_edge_features(&nb.eids);
+        let stats = &mut self.stats;
+        let scratch = &mut self.scratch;
+        let ht0 = stats.time(OpKind::TimeEncodeZero, || {
+            let mut t = scratch.take(ns.len(), params.time.dim());
+            params.time.encode_zeros_into(&mut t);
+            t
+        });
+        let ht = stats.time(OpKind::TimeEncodeDt, || {
+            let mut t = scratch.take(nb.dts.len(), params.time.dim());
+            params.time.encode_into(&nb.dts, &mut t);
+            t
+        });
+        let e_feat = self.ctx.gather_edge_features_with(&nb.eids, &mut self.scratch);
         let mask = nb.mask();
 
         let layer = &self.params.layers[l - 1];
         let cfg = &self.params.cfg;
-        self.stats.time(OpKind::Attention, || {
-            attention::forward(
+        let stats = &mut self.stats;
+        let scratch = &mut self.scratch;
+        let out = stats.time(OpKind::Attention, || {
+            attention::forward_with(
                 layer,
                 cfg,
                 &AttentionInputs {
@@ -127,8 +160,15 @@ impl<'a> BaselineEngine<'a> {
                     ht: &ht,
                     mask: &mask,
                 },
+                scratch,
             )
-        })
+        });
+        self.scratch.give(e_feat);
+        self.scratch.give(ht);
+        self.scratch.give(ht0);
+        self.scratch.give(h_ngh);
+        self.scratch.give(h_src);
+        out
     }
 }
 

@@ -48,17 +48,24 @@ impl TimeEncoder {
 
     /// Encodes a batch of time deltas into an `[n, d_t]` tensor.
     pub fn encode(&self, dts: &[f32]) -> Tensor {
+        let mut out = Tensor::zeros(dts.len(), self.dim());
+        self.encode_into(dts, &mut out);
+        out
+    }
+
+    /// [`Self::encode`] into a preallocated `[dts.len(), d_t]` destination;
+    /// prior contents are overwritten.
+    pub fn encode_into(&self, dts: &[f32], out: &mut Tensor) {
         let d = self.dim();
+        assert_eq!(out.shape(), (dts.len(), d), "encode_into: bad output shape");
         let om = self.omega.as_slice();
         let ph = self.phi.as_slice();
-        let mut out = Tensor::zeros(dts.len(), d);
         for (r, &dt) in dts.iter().enumerate() {
             let row = out.row_mut(r);
             for j in 0..d {
                 row[j] = (dt * om[j] + ph[j]).cos();
             }
         }
-        out
     }
 
     /// Encodes a single delta into a `1 x d_t` row.
@@ -70,13 +77,18 @@ impl TimeEncoder {
     /// Eq. (4). The baseline recomputes this every call (it is one of the
     /// redundancies §3.3 identifies); TGOpt's precomputation replaces it.
     pub fn encode_zeros(&self, n: usize) -> Tensor {
+        let mut out = Tensor::zeros(n, self.dim());
+        self.encode_zeros_into(&mut out);
+        out
+    }
+
+    /// [`Self::encode_zeros`] into a preallocated `[n, d_t]` destination.
+    pub fn encode_zeros_into(&self, out: &mut Tensor) {
+        assert_eq!(out.cols(), self.dim(), "encode_zeros_into: bad output width");
         let zero_row = self.encode_one(0.0);
-        let d = self.dim();
-        let mut out = Tensor::zeros(n, d);
-        for r in 0..n {
+        for r in 0..out.rows() {
             out.row_mut(r).copy_from_slice(zero_row.row(0));
         }
-        out
     }
 }
 
