@@ -24,6 +24,7 @@ struct CliOpts {
     time_window: usize,
     verify: bool,
     json: Option<String>,
+    stats_json: Option<String>,
 }
 
 fn parse() -> CliOpts {
@@ -39,6 +40,7 @@ fn parse() -> CliOpts {
         time_window: 10_000,
         verify: false,
         json: None,
+        stats_json: None,
     };
     let mut passthrough: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -64,6 +66,7 @@ fn parse() -> CliOpts {
             "--stats" => out.stats = true,
             "--verify" => out.verify = true,
             "--json" => out.json = Some(take("--json")),
+            "--stats-json" => out.stats_json = Some(take("--stats-json")),
             "--time-window" => {
                 out.time_window = take("--time-window").parse().unwrap_or_else(|_| {
                     eprintln!("error: invalid --time-window");
@@ -92,13 +95,18 @@ fn parse() -> CliOpts {
 
 const USAGE: &str = "\
 Usage: inference [-d NAME | --csv PATH] [--opt-all | --opt-dedup --opt-cache --opt-time]
-                 [--stats] [--verify] [--json PATH] [--time-window N] [--hash-time-cache]
+                 [--stats] [--verify] [--json PATH] [--stats-json PATH]
+                 [--time-window N] [--hash-time-cache]
                  [--scale F] [--runs N] [--dim N] [--neighbors N] [--batch N]
                  [--cache-limit N] [--seed N]
 
 Runs the standard inference task (chronological batches, both endpoints of
 every edge embedded) with the baseline TGAT engine and, if any --opt-* flag
-is given, the TGOpt engine, reporting runtimes and statistics.";
+is given, the TGOpt engine, reporting runtimes and statistics.
+
+--stats-json writes the unified telemetry snapshot (stable schema shared
+with the serve bench); pass --stats as well to populate its per-stage
+spans.";
 
 /// The paper's §5.1.3 validation: replay every batch through both engines
 /// and report the worst elementwise deviation.
@@ -255,6 +263,8 @@ fn main() {
         1.0,
         base_run.as_ref().expect("ran at least once"),
     )];
+    // --stats-json reports the most optimized engine that ran.
+    let mut telemetry = base_run.as_ref().map(|r| r.telemetry());
 
     if any_opt {
         let opt = OptConfig {
@@ -285,6 +295,7 @@ fn main() {
             bm / om.max(1e-12)
         );
         let r = opt_run.expect("ran at least once");
+        telemetry = Some(r.telemetry());
         engine_reports.push(engine_report("tgopt", om * 1e3, os * 1e3, bm / om.max(1e-12), &r));
         println!(
             "cache: {:.2}% hit rate | {} items | {} | dedup removed {}",
@@ -331,62 +342,20 @@ fn main() {
             engines: engine_reports,
         };
         let text = serde_json::to_string(&report).expect("report serializes");
-        if let Err(e) = std::fs::write(path, pretty_json(&text) + "\n") {
+        if let Err(e) = std::fs::write(path, table::pretty_json(&text) + "\n") {
             eprintln!("error: failed to write {path}: {e}");
             std::process::exit(1);
         }
         println!("wrote {path}");
     }
-}
 
-/// Re-indents compact JSON for a diff-friendly committed artifact (the
-/// vendored `serde_json` shim has no pretty printer). Only structural
-/// characters outside strings trigger breaks, so values pass through intact.
-fn pretty_json(compact: &str) -> String {
-    let mut out = String::with_capacity(compact.len() * 2);
-    let mut depth = 0usize;
-    let mut in_str = false;
-    let mut escaped = false;
-    let indent = |out: &mut String, depth: usize| {
-        out.push('\n');
-        for _ in 0..depth {
-            out.push_str("  ");
+    if let Some(path) = &cli.stats_json {
+        let snap = telemetry.take().unwrap_or_else(tg_telemetry::TelemetrySnapshot::new);
+        let text = serde_json::to_string(&snap).expect("telemetry snapshot serializes");
+        if let Err(e) = std::fs::write(path, table::pretty_json(&text) + "\n") {
+            eprintln!("error: failed to write {path}: {e}");
+            std::process::exit(1);
         }
-    };
-    for c in compact.chars() {
-        if in_str {
-            out.push(c);
-            if escaped {
-                escaped = false;
-            } else if c == '\\' {
-                escaped = true;
-            } else if c == '"' {
-                in_str = false;
-            }
-            continue;
-        }
-        match c {
-            '"' => {
-                in_str = true;
-                out.push(c);
-            }
-            '{' | '[' => {
-                out.push(c);
-                depth += 1;
-                indent(&mut out, depth);
-            }
-            '}' | ']' => {
-                depth = depth.saturating_sub(1);
-                indent(&mut out, depth);
-                out.push(c);
-            }
-            ',' => {
-                out.push(c);
-                indent(&mut out, depth);
-            }
-            ':' => out.push_str(": "),
-            c => out.push(c),
-        }
+        println!("wrote {path}");
     }
-    out
 }

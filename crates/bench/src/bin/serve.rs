@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tg_bench::harness::percentile;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tg_graph::{NodeId, TemporalGraph, Time};
@@ -30,6 +31,7 @@ struct Opts {
     hot: usize,
     hot_prob: f64,
     budget_bytes: Option<usize>,
+    stats_json: Option<String>,
 }
 
 impl Default for Opts {
@@ -47,6 +49,7 @@ impl Default for Opts {
             hot: 16,
             hot_prob: 0.6,
             budget_bytes: None,
+            stats_json: None,
         }
     }
 }
@@ -54,11 +57,13 @@ impl Default for Opts {
 const USAGE: &str = "\
 Usage: serve [-d NAME] [--scale F] [--seed N] [--dim N] [--clients N]
              [--requests N] [--batch N] [--linger-us N] [--workers N]
-             [--hot N] [--hot-prob F] [--budget-bytes N]
+             [--hot N] [--hot-prob F] [--budget-bytes N] [--stats-json PATH]
 
 Benchmarks the tg-serve micro-batching layer against direct embed_batch
 calls on one generated dataset, reporting throughput, latency percentiles
-(p50/p95/p99), and the cross-request dedup ratio.";
+(p50/p95/p99, both exact and from the online log2 histogram), and the
+cross-request dedup ratio. --stats-json writes the unified telemetry
+snapshot (and enables per-stage span recording in the workers).";
 
 fn parse() -> Opts {
     let mut o = Opts::default();
@@ -83,6 +88,7 @@ fn parse() -> Opts {
             "--hot" => o.hot = num::<f64>(&take("--hot")) as usize,
             "--hot-prob" => o.hot_prob = num(&take("--hot-prob")),
             "--budget-bytes" => o.budget_bytes = Some(num::<f64>(&take("--budget-bytes")) as usize),
+            "--stats-json" => o.stats_json = Some(take("--stats-json")),
             "-h" | "--help" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -101,14 +107,6 @@ fn num<T: std::str::FromStr>(s: &str) -> T {
         eprintln!("error: invalid numeric value {s:?}");
         std::process::exit(2);
     })
-}
-
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[idx.min(sorted_us.len() - 1)]
 }
 
 /// Per-client query stream: mostly-hot targets (mimicking production skew,
@@ -206,7 +204,8 @@ fn main() {
         .with_max_batch(o.max_batch)
         .with_linger(Duration::from_micros(o.linger_us))
         .with_queue_capacity(total_requests.max(1024))
-        .with_workers(o.workers);
+        .with_workers(o.workers)
+        .with_stage_spans(o.stats_json.is_some());
     if let Some(b) = o.budget_bytes {
         cfg_serve = cfg_serve.with_memory_budget(b);
     }
@@ -240,7 +239,7 @@ fn main() {
             .collect()
     });
     let serve_seconds = start.elapsed().as_secs_f64();
-    let stats = server.shutdown();
+    let (stats, telemetry) = server.shutdown_with_telemetry();
 
     latencies_us.sort_by(|a, b| a.total_cmp(b));
     println!(
@@ -251,10 +250,20 @@ fn main() {
         o.clients
     );
     println!(
-        "latency   : p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us",
+        "latency   : p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us  (exact, sorted)",
         percentile(&latencies_us, 50.0),
         percentile(&latencies_us, 95.0),
         percentile(&latencies_us, 99.0)
+    );
+    // The online histogram reports each quantile's log2-bucket upper edge:
+    // within one bucket's relative error (< 2x) of the exact value above.
+    let online = &stats.latency;
+    println!(
+        "online    : p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us  ({} samples, log2 histogram)",
+        online.p50_ns() as f64 / 1e3,
+        online.p95_ns() as f64 / 1e3,
+        online.p99_ns() as f64 / 1e3,
+        online.count()
     );
     println!(
         "batching  : {} batches, mean size {:.1}, cross-request dedup ratio {:.1}%",
@@ -266,4 +275,13 @@ fn main() {
         "admission : {} submitted, {} overloaded, {} deadline-expired, {} degraded batches",
         stats.submitted, stats.rejected_overload, stats.rejected_deadline, stats.degraded_batches
     );
+
+    if let Some(path) = &o.stats_json {
+        let text = serde_json::to_string(&telemetry).expect("telemetry snapshot serializes");
+        if let Err(e) = std::fs::write(path, tg_bench::table::pretty_json(&text) + "\n") {
+            eprintln!("error: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
 }

@@ -93,25 +93,27 @@ impl TimeCacheImpl {
         }
     }
 
-    fn encode(&mut self, encoder: &tgat::TimeEncoder, dts: &[f32]) -> Tensor {
+    /// Encodes into a caller-provided (scratch-backed) destination so the
+    /// all-hit steady state allocates nothing; misses batch one encoder
+    /// fallback internally.
+    fn encode_into(&mut self, encoder: &tgat::TimeEncoder, dts: &[f32], out: &mut Tensor) {
         match self {
-            Self::Dense(c) => c.encode(encoder, dts),
-            Self::Hash { cache, .. } => cache.encode(encoder, dts),
+            Self::Dense(c) => c.encode_into(encoder, dts, out),
+            Self::Hash { cache, .. } => cache.encode_into(encoder, dts, out),
         }
     }
 
     /// `Phi(0)` broadcast from the ahead-of-time row (both variants
-    /// precompute it once, per §3.3).
-    fn encode_zeros(&self, n: usize) -> Tensor {
+    /// precompute it once, per §3.3) into a caller-provided destination.
+    /// Every row of `out` is overwritten; allocation-free.
+    fn encode_zeros_into(&self, out: &mut Tensor) {
         match self {
-            Self::Dense(c) => c.encode_zeros(n),
+            Self::Dense(c) => c.encode_zeros_into(out),
             Self::Hash { zero_row, .. } => {
-                let d = zero_row.len();
-                let mut out = Tensor::zeros(n, d);
-                for r in 0..n {
+                debug_assert_eq!(out.cols(), zero_row.len());
+                for r in 0..out.rows() {
                     out.row_mut(r).copy_from_slice(zero_row);
                 }
-                out
             }
         }
     }
@@ -389,33 +391,37 @@ impl<'a> TgoptEngine<'a> {
             ops::split_rows_into(&h_prev, m_ns.len(), &mut h_src, &mut h_ngh);
             self.scratch.give(h_prev);
 
-            // §4.3 precomputed time encodings.
+            // §4.3 precomputed time encodings — both branches fill
+            // scratch-backed destinations, so a steady-state (all-hit)
+            // batch performs no time-encode allocations.
             let params = self.params;
-            let scratch = &mut self.scratch;
-            let ht0 = if self.opt.enable_time_precompute {
+            let time_dim = params.time.dim();
+            let precompute = self.opt.enable_time_precompute;
+            let mut ht0 = self.scratch.take(m_ns.len(), time_dim);
+            {
                 let timecache = &self.timecache;
-                self.stats
-                    .time(OpKind::TimeEncodeZero, || timecache.encode_zeros(m_ns.len()))
-            } else {
                 let stats = &mut self.stats;
                 stats.time(OpKind::TimeEncodeZero, || {
-                    let mut t = scratch.take(m_ns.len(), params.time.dim());
-                    params.time.encode_zeros_into(&mut t);
-                    t
-                })
-            };
-            let ht = if self.opt.enable_time_precompute {
+                    if precompute {
+                        timecache.encode_zeros_into(&mut ht0);
+                    } else {
+                        params.time.encode_zeros_into(&mut ht0);
+                    }
+                });
+            }
+            let mut ht = self.scratch.take(nb.dts.len(), time_dim);
+            {
                 let timecache = &mut self.timecache;
-                self.stats
-                    .time(OpKind::TimeEncodeDt, || timecache.encode(&params.time, &nb.dts))
-            } else {
                 let stats = &mut self.stats;
                 stats.time(OpKind::TimeEncodeDt, || {
-                    let mut t = scratch.take(nb.dts.len(), params.time.dim());
-                    params.time.encode_into(&nb.dts, &mut t);
-                    t
-                })
-            };
+                    if precompute {
+                        timecache.encode_into(&params.time, &nb.dts, &mut ht);
+                    } else {
+                        params.time.encode_into(&nb.dts, &mut ht);
+                    }
+                });
+            }
+            let (ht0, ht) = (ht0, ht);
             let e_feat = self.ctx.gather_edge_features_with(&nb.eids, &mut self.scratch);
             let mask = nb.mask();
 
@@ -551,6 +557,40 @@ mod tests {
         assert_matches_baseline(
             OptConfig::all().with_time_cache_kind(TimeCacheKind::Hash).with_time_window(3),
         );
+    }
+
+    #[test]
+    fn steady_state_time_encode_is_allocation_free() {
+        use crate::config::TimeCacheKind;
+        for kind in [TimeCacheKind::DenseWindow, TimeCacheKind::Hash] {
+            let cfg = TgatConfig::tiny();
+            let params = TgatParams::init(cfg, 7).unwrap();
+            let (graph, nf, ef) = world(cfg, 12, 80);
+            let ctx = GraphContext { graph: &graph, node_features: &nf, edge_features: &ef };
+            // Cache and dedup off: every batch re-runs both time-encode
+            // stages, and the output tensor stays scratch-backed so it can
+            // be returned to the pool.
+            let opt = OptConfig { enable_cache: false, enable_dedup: false, ..OptConfig::all() }
+                .with_time_cache_kind(kind);
+            let mut eng = TgoptEngine::new(&params, ctx, opt);
+            let ns: Vec<NodeId> = vec![0, 1, 2, 5];
+            let ts: Vec<Time> = vec![50.0, 50.0, 51.0, 52.0];
+            // Warm-up: grow the scratch pool and (for Hash) memoize deltas.
+            for _ in 0..3 {
+                let h = eng.embed_batch(&ns, &ts).unwrap();
+                eng.scratch.give(h);
+            }
+            let pooled = eng.scratch.pooled_capacity();
+            for _ in 0..5 {
+                let h = eng.embed_batch(&ns, &ts).unwrap();
+                eng.scratch.give(h);
+            }
+            assert_eq!(
+                eng.scratch.pooled_capacity(),
+                pooled,
+                "steady-state batches must not allocate scratch blocks ({kind:?})"
+            );
+        }
     }
 
     #[test]

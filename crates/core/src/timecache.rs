@@ -64,9 +64,27 @@ impl TimeCache {
     /// - `hits() + misses()` grows by exactly `dts.len()`.
     /// - Every output row is bit-identical to `encoder.encode` of its delta.
     pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
+        let mut out = Tensor::zeros(dts.len(), self.dim());
+        self.encode_into(encoder, dts, &mut out);
+        out
+    }
+
+    /// Like [`TimeCache::encode`], but writes into a caller-provided
+    /// (typically scratch-backed) destination instead of allocating — the
+    /// engine's zero-alloc steady-state path. Every row of `out` is
+    /// overwritten; `out` must have shape `(dts.len(), dim())`.
+    ///
+    /// # Invariants
+    ///
+    /// - Same as [`TimeCache::encode`]: the table is immutable, only the
+    ///   hit/miss counters change, and `hits() + misses()` grows by
+    ///   exactly `dts.len()`.
+    /// - Allocation-free when every delta hits the window (misses batch
+    ///   one `encoder.encode` fallback).
+    pub fn encode_into(&mut self, encoder: &TimeEncoder, dts: &[f32], out: &mut Tensor) {
         let d = self.dim();
         let window = self.window();
-        let mut out = Tensor::zeros(dts.len(), d);
+        assert_eq!(out.shape(), (dts.len(), d), "time-encode destination shape mismatch");
         let mut miss_rows: Vec<usize> = Vec::new();
         let mut miss_dts: Vec<f32> = Vec::new();
         for (r, &dt) in dts.iter().enumerate() {
@@ -87,17 +105,22 @@ impl TimeCache {
                 out.row_mut(r).copy_from_slice(computed.row(i));
             }
         }
-        out
     }
 
     /// `Phi(0)` broadcast over `n` rows, from the precomputed row.
     pub fn encode_zeros(&self, n: usize) -> Tensor {
-        let d = self.dim();
-        let mut out = Tensor::zeros(n, d);
-        for r in 0..n {
+        let mut out = Tensor::zeros(n, self.dim());
+        self.encode_zeros_into(&mut out);
+        out
+    }
+
+    /// `Phi(0)` broadcast into a caller-provided (typically scratch-backed)
+    /// destination; every row of `out` is overwritten. Allocation-free.
+    pub fn encode_zeros_into(&self, out: &mut Tensor) {
+        debug_assert_eq!(out.cols(), self.dim(), "Phi(0) destination width mismatch");
+        for r in 0..out.rows() {
             out.row_mut(r).copy_from_slice(&self.zero_row);
         }
-        out
     }
 
     /// Window hit count so far.
@@ -186,8 +209,29 @@ impl HashTimeCache {
     ///   originally computed bits.
     /// - `hits() + misses()` grows by exactly `dts.len()`.
     pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
-        let d = encoder.dim();
-        let mut out = Tensor::zeros(dts.len(), d);
+        let mut out = Tensor::zeros(dts.len(), encoder.dim());
+        self.encode_into(encoder, dts, &mut out);
+        out
+    }
+
+    /// Like [`HashTimeCache::encode`], but writes into a caller-provided
+    /// (typically scratch-backed) destination instead of allocating. Every
+    /// row of `out` is overwritten; `out` must have shape
+    /// `(dts.len(), encoder.dim())`.
+    ///
+    /// # Invariants
+    ///
+    /// - Same as [`HashTimeCache::encode`]: `len() <= limit`, memoized
+    ///   rows are never overwritten, and `hits() + misses()` grows by
+    ///   exactly `dts.len()`.
+    /// - Memoization happens in first-seen order, so which deltas survive
+    ///   an at-limit batch is deterministic.
+    pub fn encode_into(&mut self, encoder: &TimeEncoder, dts: &[f32], out: &mut Tensor) {
+        assert_eq!(
+            out.shape(),
+            (dts.len(), encoder.dim()),
+            "time-encode destination shape mismatch"
+        );
         // rows to fill from the freshly computed block: (out row, block row)
         let mut fills: Vec<(usize, usize)> = Vec::new();
         let mut pending: rustc_hash::FxHashMap<u32, usize> = Default::default();
@@ -216,13 +260,18 @@ impl HashTimeCache {
             for &(r, block_row) in &fills {
                 out.row_mut(r).copy_from_slice(computed.row(block_row));
             }
-            for (&bits, &block_row) in &pending {
-                if self.table.len() < self.limit {
-                    self.table.insert(bits, computed.row(block_row).into());
+            // Memoize in first-seen (`miss_dts` index) order. `pending` is
+            // an FxHashMap whose iteration order is arbitrary, so walking
+            // it here made *which* deltas survive an at-limit batch vary
+            // run to run — nondeterministic hit counters and row
+            // provenance. First-seen order is reproducible.
+            for (block_row, &dt) in miss_dts.iter().enumerate() {
+                if self.table.len() >= self.limit {
+                    break;
                 }
+                self.table.insert(dt.to_bits(), computed.row(block_row).into());
             }
         }
-        out
     }
 }
 
@@ -305,6 +354,51 @@ mod tests {
         assert!(out.max_abs_diff(&enc.encode(&dts)) < 1e-7);
         assert_eq!(hc.len(), 2, "stops memoizing at the limit");
         assert!((hc.hit_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_cache_memoizes_first_seen_deltas_deterministically() {
+        // Regression: at the limit, memoization used to iterate the
+        // per-batch `pending` FxHashMap, whose order is arbitrary — which
+        // two of the ten deltas survived varied run to run. First-seen
+        // (batch) order is the contract now.
+        let enc = TimeEncoder::new(2);
+        // Reciprocals: distinct bit patterns whose FxHashMap iteration
+        // order differs from insertion order, so the old code picks the
+        // wrong pair.
+        let dts: Vec<f32> = (0..10).map(|i| 1.0 / (i as f32 + 3.0)).collect(); // lint: allow(lossy-cast, small test integers are exact in f32)
+        let fill = || {
+            let mut hc = HashTimeCache::new(2);
+            let _ = hc.encode(&enc, &dts);
+            let mut keys: Vec<u32> = hc.table.keys().copied().collect();
+            keys.sort_unstable();
+            keys
+        };
+        let first = fill();
+        let second = fill();
+        assert_eq!(first, second, "identical fills must memoize identical key sets");
+        let mut expected = vec![dts[0].to_bits(), dts[1].to_bits()];
+        expected.sort_unstable();
+        assert_eq!(first, expected, "the first-seen deltas are the ones memoized");
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_both_caches() {
+        let enc = TimeEncoder::random(4, 11);
+        let dts = [0.0f32, 3.0, 2.5, 300.0, 3.0];
+        let mut window = TimeCache::precompute(&enc, 100);
+        let direct = enc.encode(&dts);
+        let mut dst = Tensor::zeros(dts.len(), enc.dim());
+        window.encode_into(&enc, &dts, &mut dst);
+        assert!(dst.max_abs_diff(&direct) < 1e-7);
+        let mut zeros = Tensor::zeros(3, enc.dim());
+        window.encode_zeros_into(&mut zeros);
+        assert!(zeros.max_abs_diff(&enc.encode_zeros(3)) < 1e-7);
+        let mut hash = HashTimeCache::new(8);
+        let mut dst2 = Tensor::zeros(dts.len(), enc.dim());
+        hash.encode_into(&enc, &dts, &mut dst2);
+        assert!(dst2.max_abs_diff(&direct) < 1e-7);
+        assert_eq!(hash.hits(), 1, "within-batch repeat of 3.0");
     }
 
     #[test]

@@ -11,13 +11,16 @@
 use crate::request::{Request, Slot};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use tg_graph::{NodeId, Time};
 
 /// One admitted request travelling through the pipeline with its
-/// completion slot.
+/// completion slot and admission timestamp (the start of the end-to-end
+/// latency measurement).
 pub(crate) struct Pending {
     pub(crate) req: Request,
     pub(crate) slot: Arc<Slot>,
+    pub(crate) submitted_at: Instant,
 }
 
 /// The unique targets of a wave plus the per-request scatter map.

@@ -21,6 +21,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tg_error::TgError;
 use tg_graph::{NodeId, TemporalGraph, Time};
+use tg_telemetry::{
+    EmbedCacheTelemetry, EngineTelemetry, LatencyHistogram, LatencyTelemetry, Recorder,
+    ServeTelemetry, TelemetrySnapshot, TimeCacheTelemetry,
+};
 use tg_tensor::Tensor;
 use tgat::engine::GraphContext;
 use tgat::TgatParams;
@@ -96,6 +100,9 @@ pub struct ServeConfig {
     pub memory_budget_bytes: Option<usize>,
     /// Engine optimization settings (shared by every worker).
     pub opt: OptConfig,
+    /// Record per-stage (Table 3) spans in every worker engine. Off by
+    /// default: the disabled recorder takes no timestamps on the hot path.
+    pub record_spans: bool,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +114,7 @@ impl Default for ServeConfig {
             workers: 2,
             memory_budget_bytes: None,
             opt: OptConfig::all(),
+            record_spans: false,
         }
     }
 }
@@ -148,6 +156,12 @@ impl ServeConfig {
         self
     }
 
+    /// Builder-style stage-span recording toggle.
+    pub fn with_stage_spans(mut self, on: bool) -> Self {
+        self.record_spans = on;
+        self
+    }
+
     fn validate(&self) -> Result<(), TgError> {
         if self.max_batch == 0 {
             return Err(TgError::InvalidConfig("max_batch must be positive".into()));
@@ -171,12 +185,29 @@ struct Shared {
     counters: ServeCounters,
     /// Engine counters merged in from exited workers / deterministic drains.
     engine_counters: Mutex<EngineCounters>,
+    /// Per-worker wave-processing-time histograms, one per worker slot;
+    /// deterministic drains record into slot 0.
+    worker_latency: Vec<Arc<LatencyHistogram>>,
+    /// Stage spans merged in from exited workers / deterministic drains
+    /// (all zeros unless [`ServeConfig::record_spans`] is set).
+    stage_spans: Mutex<Recorder>,
+    /// Time-encoding cache `(hits, misses)` merged in from exited workers
+    /// and deterministic drains.
+    time_cache: Mutex<(u64, u64)>,
 }
 
 /// Runs one wave through `engine`: deadline filter → cross-request dedup →
 /// (possibly degraded) inference → per-request scatter. Every pending
-/// request in the wave is fulfilled exactly once before return.
-fn process_wave(engine: &mut TgoptEngine<'_>, wave: Vec<Pending>, shared: &Shared) {
+/// request in the wave is fulfilled exactly once before return. Wave
+/// processing time lands in `wave_hist` (the executing worker's histogram)
+/// and each completed request's submit-to-fulfill latency in the shared
+/// end-to-end histogram.
+fn process_wave(
+    engine: &mut TgoptEngine<'_>,
+    wave: Vec<Pending>,
+    shared: &Shared,
+    wave_hist: &LatencyHistogram,
+) {
     let now = Instant::now();
     let (live, expired): (Vec<Pending>, Vec<Pending>) =
         wave.into_iter().partition(|p| !p.req.expired_at(now));
@@ -203,6 +234,15 @@ fn process_wave(engine: &mut TgoptEngine<'_>, wave: Vec<Pending>, shared: &Share
                 p.slot.fulfill(Ok(h.row(row).to_vec()));
             }
             shared.counters.record_completed(live.len() as u64);
+            // One clock read for the whole wave; per-request end-to-end
+            // latency is a subtraction against each submit timestamp.
+            let done = Instant::now();
+            for p in &live {
+                let e2e = done.duration_since(p.submitted_at);
+                shared
+                    .counters
+                    .record_latency(u64::try_from(e2e.as_nanos()).unwrap_or(u64::MAX));
+            }
         }
         Err(e) => {
             // TgError is not Clone (it can wrap an io::Error), so waiters
@@ -219,9 +259,32 @@ fn process_wave(engine: &mut TgoptEngine<'_>, wave: Vec<Pending>, shared: &Share
             }
         }
     }
+    let wave_ns = now.elapsed();
+    wave_hist.record(u64::try_from(wave_ns.as_nanos()).unwrap_or(u64::MAX));
 }
 
-fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>) {
+/// Folds one retiring engine's accumulated telemetry (reuse counters,
+/// stage spans, time-cache hits/misses) into the shared totals. Locks are
+/// taken one at a time, never nested.
+fn merge_engine_telemetry(shared: &Shared, engine: TgoptEngine<'_>) {
+    let spans = engine.stats().clone();
+    let (tc_hits, tc_misses) = engine.time_cache_stats();
+    let (_, counters) = engine.into_cache();
+    {
+        let mut total = relock(shared.engine_counters.lock());
+        *total = total.merge(&counters);
+    }
+    relock(shared.stage_spans.lock()).merge(&spans);
+    let mut tc = relock(shared.time_cache.lock());
+    tc.0 += tc_hits;
+    tc.1 += tc_misses;
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>,
+    wave_hist: Arc<LatencyHistogram>,
+) {
     let bundle = Arc::clone(&shared.bundle);
     // One engine per worker, reused across waves — which also means one
     // `Scratch` arena per worker: after the first wave, steady-state
@@ -234,6 +297,9 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>
         Arc::clone(&shared.cache),
         EngineCounters::default(),
     );
+    if shared.cfg.record_spans {
+        engine.enable_stats();
+    }
     loop {
         // The guard is scoped to the recv call: exactly one idle worker
         // waits inside recv, the rest wait on the lock. Processing runs
@@ -243,11 +309,9 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>
             Ok(wave) => wave,
             Err(_) => break,
         };
-        process_wave(&mut engine, wave, &shared);
+        process_wave(&mut engine, wave, &shared, &wave_hist);
     }
-    let (_, counters) = engine.into_cache();
-    let mut total = relock(shared.engine_counters.lock());
-    *total = total.merge(&counters);
+    merge_engine_telemetry(&shared, engine);
 }
 
 /// The micro-batching request server over one [`TgoptEngine`] world.
@@ -272,10 +336,13 @@ impl TgServer {
         Ok(Arc::new(Shared {
             bundle,
             queue: BoundedQueue::new(cfg.queue_capacity),
-            cfg,
             cache,
             counters: ServeCounters::default(),
             engine_counters: Mutex::new(EngineCounters::default()),
+            worker_latency: (0..cfg.workers).map(|_| Arc::new(LatencyHistogram::new())).collect(),
+            stage_spans: Mutex::new(Recorder::disabled()),
+            time_cache: Mutex::new((0, 0)),
+            cfg,
         }))
     }
 
@@ -294,10 +361,11 @@ impl TgServer {
         let (tx, rx) = mpsc::channel::<Vec<Pending>>();
         let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers)
-            .map(|_| {
+            .map(|i| {
+                let wave_hist = Arc::clone(&shared.worker_latency[i]);
                 let shared = Arc::clone(&shared);
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(shared, rx))
+                std::thread::spawn(move || worker_loop(shared, rx, wave_hist))
             })
             .collect();
         let batcher_shared = Arc::clone(&shared);
@@ -332,18 +400,21 @@ impl TgServer {
     /// Submits a [`Request`]. An already-expired deadline is rejected here,
     /// before consuming a queue slot; a full queue rejects with
     /// [`TgError::Overloaded`] without blocking.
+    ///
+    /// `submitted` is recorded before any terminal counter — and before
+    /// the request becomes visible to workers — so every counter snapshot
+    /// satisfies `submitted >= completed + rejected_deadline`.
     pub fn submit_request(&self, req: Request) -> Result<Ticket, TgError> {
-        if req.expired_at(Instant::now()) {
+        let submitted_at = Instant::now();
+        self.shared.counters.record_submitted();
+        if req.expired_at(submitted_at) {
             self.shared.counters.record_deadline(1);
             return Err(TgError::DeadlineExceeded);
         }
         let slot = Slot::new();
         let ticket = Ticket::new(Arc::clone(&slot));
-        match self.shared.queue.push(Pending { req, slot }) {
-            Ok(()) => {
-                self.shared.counters.record_submitted();
-                Ok(ticket)
-            }
+        match self.shared.queue.push(Pending { req, slot, submitted_at }) {
+            Ok(()) => Ok(ticket),
             Err(e) => {
                 if matches!(e, TgError::Overloaded { .. }) {
                     self.shared.counters.record_overload();
@@ -390,13 +461,26 @@ impl TgServer {
             Arc::clone(&self.shared.cache),
             counters,
         );
+        if self.shared.cfg.record_spans {
+            engine.enable_stats();
+        }
+        // Deterministic mode has no workers; its waves account to slot 0.
+        let wave_hist = Arc::clone(&self.shared.worker_latency[0]);
         while !items.is_empty() {
             let tail = items.split_off(items.len().min(self.shared.cfg.max_batch));
-            process_wave(&mut engine, items, &self.shared);
+            process_wave(&mut engine, items, &self.shared, &wave_hist);
             items = tail;
         }
+        let spans = engine.stats().clone();
+        let (tc_hits, tc_misses) = engine.time_cache_stats();
         let (_, counters) = engine.into_cache();
         *relock(self.shared.engine_counters.lock()) = counters;
+        relock(self.shared.stage_spans.lock()).merge(&spans);
+        {
+            let mut tc = relock(self.shared.time_cache.lock());
+            tc.0 += tc_hits;
+            tc.1 += tc_misses;
+        }
         Ok(n)
     }
 
@@ -410,6 +494,58 @@ impl TgServer {
     /// [`TgServer::shutdown`]; deterministic drains publish immediately.
     pub fn engine_counters(&self) -> EngineCounters {
         *relock(self.shared.engine_counters.lock())
+    }
+
+    /// The unified telemetry snapshot: serving counters, engine counters,
+    /// embedding-cache and time-cache accounting, the per-stage breakdown,
+    /// and the online latency distributions, in the stable
+    /// [`tg_telemetry::SCHEMA_VERSION`] JSON shape.
+    ///
+    /// Serving counters and latency histograms are live; engine-side
+    /// values (stage spans, time-cache hits, reuse counters) are merged in
+    /// when workers exit, so in threaded mode they are only complete after
+    /// shutdown — use [`TgServer::shutdown_with_telemetry`] for final
+    /// totals. Stage spans stay zero unless [`ServeConfig::record_spans`]
+    /// is set.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let serve = self.shared.counters.snapshot();
+        let ec = *relock(self.shared.engine_counters.lock());
+        let (tc_hits, tc_misses) = *relock(self.shared.time_cache.lock());
+        let stages = relock(self.shared.stage_spans.lock()).breakdown();
+        let cache = &self.shared.cache;
+        TelemetrySnapshot {
+            stages,
+            engine: EngineTelemetry {
+                cache_lookups: ec.cache_lookups,
+                cache_hits: ec.cache_hits,
+                cache_stores: ec.cache_stores,
+                recomputed: ec.recomputed,
+                dedup_removed: ec.dedup_removed,
+                stores_skipped: ec.stores_skipped,
+            },
+            time_cache: TimeCacheTelemetry { lookups: tc_hits + tc_misses, hits: tc_hits },
+            embed_cache: EmbedCacheTelemetry {
+                items: cache.len() as u64,
+                bytes: cache.bytes_used() as u64,
+                limit: cache.limit() as u64,
+                evictions: cache.total_evictions(),
+            },
+            serve: ServeTelemetry {
+                submitted: serve.submitted,
+                rejected_overload: serve.rejected_overload,
+                rejected_deadline: serve.rejected_deadline,
+                completed: serve.completed,
+                batches: serve.batches,
+                batched_requests: serve.batched_requests,
+                unique_rows: serve.unique_rows,
+                degraded_batches: serve.degraded_batches,
+            },
+            latency: LatencyTelemetry {
+                end_to_end: serve.latency,
+                workers: self.shared.worker_latency.iter().map(|h| h.snapshot()).collect(),
+            },
+            ..TelemetrySnapshot::new()
+        }
     }
 
     /// The memoization cache shared by every worker.
@@ -454,6 +590,14 @@ impl TgServer {
     pub fn shutdown(mut self) -> ServeStats {
         self.close_and_join();
         self.shared.counters.snapshot()
+    }
+
+    /// Like [`TgServer::shutdown`], but also returns the unified telemetry
+    /// snapshot taken *after* every worker has merged its engine-side
+    /// totals — the complete end-of-run picture.
+    pub fn shutdown_with_telemetry(mut self) -> (ServeStats, TelemetrySnapshot) {
+        self.close_and_join();
+        (self.shared.counters.snapshot(), self.telemetry())
     }
 }
 

@@ -1,9 +1,17 @@
-//! Serving-layer counters: admission, batching, dedup, and degradation.
+//! Serving-layer counters: admission, batching, dedup, degradation, and
+//! the online end-to-end latency distribution.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use tg_telemetry::{HistogramSnapshot, LatencyHistogram};
 
 /// Shared atomic counters bumped by client handles, the batcher, and the
 /// workers. Read them through [`ServeCounters::snapshot`].
+///
+/// Accounting identity: every submission attempt that is not shed by
+/// backpressure is recorded as `submitted` *before* any terminal counter,
+/// so any snapshot satisfies `submitted >= completed + rejected_deadline`
+/// (strict once a micro-batch fails with an engine error, since those
+/// requests resolve without bumping either terminal counter).
 #[derive(Debug, Default)]
 pub struct ServeCounters {
     submitted: AtomicU64,
@@ -14,15 +22,22 @@ pub struct ServeCounters {
     batched_requests: AtomicU64,
     unique_rows: AtomicU64,
     degraded_batches: AtomicU64,
+    latency: LatencyHistogram,
 }
 
 impl ServeCounters {
-    /// Records one admitted request.
+    /// Records one submission attempt that was not shed by backpressure —
+    /// both admitted requests and submit-time deadline rejections count
+    /// (the latter so `submitted >= completed + rejected_deadline` holds).
     ///
     /// # Invariants
     ///
     /// - Monotone: counters only grow; a snapshot is always consistent with
     ///   some interleaving of recorded events.
+    /// - Called before the matching terminal counter
+    ///   ([`ServeCounters::record_completed`] /
+    ///   [`ServeCounters::record_deadline`]), preserving the identity
+    ///   `submitted >= completed + rejected_deadline` in every snapshot.
     pub fn record_submitted(&self) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
@@ -72,6 +87,17 @@ impl ServeCounters {
         }
     }
 
+    /// Records one completed request's end-to-end (submit-to-fulfill)
+    /// latency. Only successful completions are sampled, so the histogram
+    /// describes the latency a satisfied client observed.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone; wait-free (log2-bucketed `fetch_add`s, no locks).
+    pub fn record_latency(&self, ns: u64) {
+        self.latency.record(ns);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> ServeStats {
         ServeStats {
@@ -83,18 +109,25 @@ impl ServeCounters {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             unique_rows: self.unique_rows.load(Ordering::Relaxed),
             degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
         }
     }
 }
 
 /// A snapshot of the serving layer's counters.
+///
+/// Identity: `submitted >= completed + rejected_deadline` in every
+/// snapshot (see [`ServeCounters`]); the gap is requests still in flight
+/// plus requests resolved by a micro-batch engine error.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Requests admitted to the queue.
+    /// Submission attempts not shed by backpressure: requests admitted to
+    /// the queue plus requests rejected at submit time because their
+    /// deadline had already expired.
     pub submitted: u64,
     /// Requests shed with [`tg_error::TgError::Overloaded`].
     pub rejected_overload: u64,
-    /// Requests completed with [`tg_error::TgError::DeadlineExceeded`].
+    /// Requests rejected with [`tg_error::TgError::DeadlineExceeded`].
     pub rejected_deadline: u64,
     /// Requests completed with an embedding row.
     pub completed: u64,
@@ -106,6 +139,9 @@ pub struct ServeStats {
     pub unique_rows: u64,
     /// Micro-batches run in degraded (store-skipping) mode.
     pub degraded_batches: u64,
+    /// Online end-to-end (submit-to-fulfill) latency distribution of
+    /// completed requests, log2-bucketed nanoseconds.
+    pub latency: HistogramSnapshot,
 }
 
 impl ServeStats {
@@ -151,7 +187,12 @@ mod tests {
         c.record_batch(4, 3, true);
         c.record_batch(6, 3, false);
         c.record_completed(10);
+        c.record_latency(1_500);
+        c.record_latency(90_000);
         let s = c.snapshot();
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.latency.sum_ns(), 91_500);
+        assert!(s.latency.p99_ns() >= 90_000);
         assert_eq!(s.submitted, 2);
         assert_eq!(s.rejected_overload, 1);
         assert_eq!(s.rejected_deadline, 1);

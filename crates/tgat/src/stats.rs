@@ -1,175 +1,12 @@
-//! Per-operation runtime accounting (reproduces the rows of paper Table 3).
+//! Per-operation runtime accounting — now provided by `tg-telemetry`.
+//!
+//! The Table-3 span types moved to the workspace-wide telemetry crate so
+//! the baseline engine, the TGOpt engine, and the serving layer all report
+//! the same breakdown schema. `OpStats` remains as a thin alias for the
+//! many existing call sites; new code should use [`tg_telemetry::Recorder`]
+//! directly.
 
-use std::time::{Duration, Instant};
+pub use tg_telemetry::{OpKind, StageSpan};
 
-/// The operations of Algorithm 1 that the breakdown analysis times.
-///
-/// The baseline engine only exercises `NghLookup`, the two `TimeEncode`
-/// variants, and `Attention`; the TGOpt engine additionally reports its
-/// dedup/cache overheads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[repr(usize)]
-pub enum OpKind {
-    NghLookup,
-    DedupFilter,
-    DedupInvert,
-    TimeEncodeZero,
-    TimeEncodeDt,
-    ComputeKeys,
-    CacheLookup,
-    CacheStore,
-    Attention,
-}
-
-impl OpKind {
-    /// All kinds, in Table 3's row order.
-    pub const ALL: [OpKind; 9] = [
-        OpKind::NghLookup,
-        OpKind::DedupFilter,
-        OpKind::DedupInvert,
-        OpKind::TimeEncodeZero,
-        OpKind::TimeEncodeDt,
-        OpKind::ComputeKeys,
-        OpKind::CacheLookup,
-        OpKind::CacheStore,
-        OpKind::Attention,
-    ];
-
-    /// Table 3's label for the operation.
-    pub fn label(&self) -> &'static str {
-        match self {
-            OpKind::NghLookup => "NghLookup",
-            OpKind::DedupFilter => "DedupFilter",
-            OpKind::DedupInvert => "DedupInvert",
-            OpKind::TimeEncodeZero => "TimeEncode (0)",
-            OpKind::TimeEncodeDt => "TimeEncode (dt)",
-            OpKind::ComputeKeys => "ComputeKeys",
-            OpKind::CacheLookup => "CacheLookup",
-            OpKind::CacheStore => "CacheStore",
-            OpKind::Attention => "attention M",
-        }
-    }
-}
-
-/// Accumulated wall time per operation.
-#[derive(Clone, Debug, Default)]
-pub struct OpStats {
-    totals: [Duration; 9],
-    counts: [u64; 9],
-    enabled: bool,
-}
-
-impl OpStats {
-    /// Stats that actually measure. Disabled stats ([`OpStats::disabled`])
-    /// skip the clock reads so production inference pays nothing.
-    pub fn enabled() -> Self {
-        Self { enabled: true, ..Default::default() }
-    }
-
-    /// No-op stats (zero overhead on the hot path).
-    pub fn disabled() -> Self {
-        Self::default()
-    }
-
-    /// True if timing is active.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Times `f`, attributing its wall time to `kind`.
-    #[inline]
-    pub fn time<T>(&mut self, kind: OpKind, f: impl FnOnce() -> T) -> T {
-        if !self.enabled {
-            return f();
-        }
-        let start = Instant::now();
-        let out = f();
-        self.totals[kind as usize] += start.elapsed();
-        self.counts[kind as usize] += 1;
-        out
-    }
-
-    /// Adds an externally measured duration.
-    pub fn record(&mut self, kind: OpKind, d: Duration) {
-        self.totals[kind as usize] += d;
-        self.counts[kind as usize] += 1;
-    }
-
-    /// Total time attributed to `kind`.
-    pub fn total(&self, kind: OpKind) -> Duration {
-        self.totals[kind as usize]
-    }
-
-    /// Number of timed invocations of `kind`.
-    pub fn count(&self, kind: OpKind) -> u64 {
-        self.counts[kind as usize]
-    }
-
-    /// Sum over all operations.
-    pub fn grand_total(&self) -> Duration {
-        self.totals.iter().sum()
-    }
-
-    /// Resets all accumulators, keeping the enabled flag.
-    pub fn reset(&mut self) {
-        self.totals = Default::default();
-        self.counts = Default::default();
-    }
-
-    /// Merges another stats object into this one.
-    pub fn merge(&mut self, other: &OpStats) {
-        for i in 0..self.totals.len() {
-            self.totals[i] += other.totals[i];
-            self.counts[i] += other.counts[i];
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn enabled_stats_accumulate() {
-        let mut s = OpStats::enabled();
-        let v = s.time(OpKind::Attention, || {
-            std::thread::sleep(Duration::from_millis(2));
-            42
-        });
-        assert_eq!(v, 42);
-        assert!(s.total(OpKind::Attention) >= Duration::from_millis(2));
-        assert_eq!(s.count(OpKind::Attention), 1);
-        assert_eq!(s.count(OpKind::NghLookup), 0);
-    }
-
-    #[test]
-    fn disabled_stats_record_nothing() {
-        let mut s = OpStats::disabled();
-        s.time(OpKind::CacheStore, || ());
-        assert_eq!(s.total(OpKind::CacheStore), Duration::ZERO);
-        assert_eq!(s.count(OpKind::CacheStore), 0);
-        assert!(!s.is_enabled());
-    }
-
-    #[test]
-    fn merge_and_reset() {
-        let mut a = OpStats::enabled();
-        a.record(OpKind::NghLookup, Duration::from_millis(5));
-        let mut b = OpStats::enabled();
-        b.record(OpKind::NghLookup, Duration::from_millis(3));
-        b.record(OpKind::CacheLookup, Duration::from_millis(1));
-        a.merge(&b);
-        assert_eq!(a.total(OpKind::NghLookup), Duration::from_millis(8));
-        assert_eq!(a.grand_total(), Duration::from_millis(9));
-        a.reset();
-        assert_eq!(a.grand_total(), Duration::ZERO);
-        assert!(a.is_enabled());
-    }
-
-    #[test]
-    fn labels_match_table3() {
-        assert_eq!(OpKind::Attention.label(), "attention M");
-        assert_eq!(OpKind::TimeEncodeZero.label(), "TimeEncode (0)");
-        assert_eq!(OpKind::ALL.len(), 9);
-    }
-}
+/// Back-compat alias: the historical name for [`tg_telemetry::Recorder`].
+pub type OpStats = tg_telemetry::Recorder;

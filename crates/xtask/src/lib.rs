@@ -38,6 +38,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "crates/core",
     "crates/datasets",
     "crates/serve",
+    "crates/telemetry",
 ];
 
 /// Hot-path files where SipHash maps are banned (L3): the §4 memoization,
@@ -69,6 +70,7 @@ pub const COUNTER_FILES: &[&str] = &[
     "crates/serve/src/queue.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/stats.rs",
+    "crates/telemetry/src/hist.rs",
 ];
 
 /// Outcome of a whole-workspace lint run.

@@ -8,6 +8,7 @@ pub use tg_datasets as datasets;
 pub use tg_error as error;
 pub use tg_graph as graph;
 pub use tg_serve as serve;
+pub use tg_telemetry as telemetry;
 pub use tg_tensor as tensor;
 pub use tgat;
 pub use tgopt;

@@ -18,6 +18,7 @@ use loom::sync::{Arc, Condvar, Mutex};
 use loom::thread;
 use std::time::Duration;
 use tg_serve::BoundedQueue;
+use tg_telemetry::LatencyHistogram;
 use tg_tensor::Tensor;
 use tgopt::{pack_key, EmbedCache};
 
@@ -191,6 +192,87 @@ fn bounded_queue_close_backpressure_handshake() {
         popped.sort_unstable();
         assert_eq!(popped, accepted, "every accepted item pops exactly once");
         assert_eq!(queue.len(), 0, "drained queue must account to empty");
+    });
+    assert!(ITERS.load(Ordering::SeqCst) > 1, "model must explore more than one schedule");
+}
+
+/// (d) Latency histogram conservation: concurrent `record()`s from two
+/// recorder threads race against a `merge_from` into a sink histogram.
+/// Every recorded sample must land in exactly one bucket (count equals the
+/// bucket sum), nothing is lost or double-counted across the merge, and a
+/// mid-race snapshot is never ahead of what was recorded.
+#[test]
+fn latency_histogram_conserves_counts_under_concurrent_record_and_merge() {
+    static ITERS: AtomicUsize = AtomicUsize::new(0);
+    loom::model(|| {
+        ITERS.fetch_add(1, Ordering::SeqCst);
+        let hist = Arc::new(LatencyHistogram::new());
+        let sink = Arc::new(LatencyHistogram::new());
+
+        let recorders: Vec<_> = (0..2u32)
+            .map(|r| {
+                let h = Arc::clone(&hist);
+                thread::spawn(move || {
+                    // Distinct magnitudes per thread so both land in
+                    // different log2 buckets (no masking of lost updates
+                    // by same-bucket collisions).
+                    for i in 0..3u64 {
+                        h.record((u64::from(r) + 1) * 1000 + i);
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        let h = Arc::clone(&hist);
+        let s = Arc::clone(&sink);
+        let merger = thread::spawn(move || {
+            // Mid-race observation: `record()` bumps the bucket before the
+            // `count` atomic, so a snapshot taken between the two sees the
+            // bucket sum ahead of `count` by at most one per in-flight
+            // recorder — never behind, never more than 2 ahead here.
+            let mid = h.snapshot();
+            let bucket_sum = mid.buckets().iter().sum::<u64>();
+            assert!(mid.count() <= 6, "snapshot counted more records than issued");
+            assert!(bucket_sum <= 6, "snapshot bucketed more records than issued");
+            assert!(
+                bucket_sum >= mid.count() && bucket_sum - mid.count() <= 2,
+                "bucket sum {bucket_sum} vs count {} exceeds in-flight bound",
+                mid.count()
+            );
+            s.merge_from(&h);
+            thread::yield_now();
+        });
+
+        for t in recorders {
+            t.join().unwrap();
+        }
+        merger.join().unwrap();
+
+        // Quiescent: everything recorded is in `hist`; the sink holds a
+        // prefix of it (whatever the merge observed), never more.
+        let final_snap = hist.snapshot();
+        assert_eq!(final_snap.count(), 6, "records lost or double-counted");
+        assert_eq!(
+            final_snap.count(),
+            final_snap.buckets().iter().sum::<u64>(),
+            "bucket sum diverged from count"
+        );
+        assert_eq!(
+            final_snap.sum_ns(),
+            1000 + 1001 + 1002 + 2000 + 2001 + 2002,
+            "sum_ns diverged from the recorded samples"
+        );
+        // The sink holds whatever prefix the merge observed — a mid-race
+        // source snapshot can be up to 2 bucket-bumps ahead of its count.
+        let merged = sink.snapshot();
+        let merged_sum = merged.buckets().iter().sum::<u64>();
+        assert!(merged_sum <= 6, "merge manufactured records");
+        assert!(
+            merged_sum >= merged.count() && merged_sum - merged.count() <= 2,
+            "merged bucket sum {merged_sum} vs count {} exceeds in-flight bound",
+            merged.count()
+        );
     });
     assert!(ITERS.load(Ordering::SeqCst) > 1, "model must explore more than one schedule");
 }

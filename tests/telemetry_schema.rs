@@ -1,0 +1,146 @@
+//! Schema-drift gate for the unified telemetry snapshot.
+//!
+//! `TelemetrySnapshot`'s JSON shape is frozen behind
+//! [`tg_telemetry::SCHEMA_VERSION`]: the sorted field-path fingerprint of
+//! a shape-complete snapshot must match the committed golden file
+//! `tests/golden/telemetry_schema.txt` exactly, in both directions. A
+//! field added, removed, renamed, or retyped fails this suite until the
+//! golden is regenerated *and* the schema version is bumped:
+//!
+//! ```sh
+//! UPDATE_TELEMETRY_GOLDEN=1 cargo test --test telemetry_schema
+//! ```
+//!
+//! CI additionally round-trips a real `--stats-json` artifact produced by
+//! the inference bench through this gate (see `.github/workflows/ci.yml`):
+//!
+//! ```sh
+//! ./target/release/inference ... --stats-json telemetry.json
+//! TELEMETRY_STATS_JSON=telemetry.json cargo test --test telemetry_schema
+//! ```
+
+use tgopt_repro::telemetry::{
+    schema_paths, Recorder, TelemetrySnapshot, SCHEMA_VERSION,
+};
+
+const GOLDEN: &str = include_str!("golden/telemetry_schema.txt");
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/telemetry_schema.txt");
+
+/// A snapshot in which every optional-length sequence has at least one
+/// element, so the element paths (`stages[].…`, `latency.workers[].…`)
+/// materialize in the fingerprint. Counter *values* are irrelevant:
+/// `schema_paths` fingerprints shape and leaf types only.
+fn shape_complete() -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::new();
+    snap.stages = Recorder::disabled().breakdown();
+    snap.latency.workers.push(Default::default());
+    snap
+}
+
+fn fingerprint(snap: &TelemetrySnapshot) -> Vec<String> {
+    let value = serde::to_value(snap).expect("snapshot serializes");
+    schema_paths(&value)
+}
+
+fn golden_lines() -> Vec<String> {
+    GOLDEN
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Diffs `actual` against the committed golden in both directions and
+/// panics with a regeneration hint on any drift.
+fn assert_matches_golden(actual: &[String], origin: &str) {
+    if std::env::var_os("UPDATE_TELEMETRY_GOLDEN").is_some() {
+        let mut text = String::from(
+            "# Field-path fingerprint of TelemetrySnapshot (schema_paths).\n\
+             # Regenerate: UPDATE_TELEMETRY_GOLDEN=1 cargo test --test telemetry_schema\n\
+             # Any diff here is a telemetry schema change: bump SCHEMA_VERSION too.\n",
+        );
+        for path in actual {
+            text.push_str(path);
+            text.push('\n');
+        }
+        std::fs::write(GOLDEN_PATH, text).expect("write golden");
+        return;
+    }
+    let golden = golden_lines();
+    let removed: Vec<&String> = golden.iter().filter(|p| !actual.contains(p)).collect();
+    let added: Vec<&String> = actual.iter().filter(|p| !golden.contains(p)).collect();
+    assert!(
+        removed.is_empty() && added.is_empty(),
+        "telemetry schema drift detected ({origin}).\n\
+         paths in golden but missing from snapshot: {removed:#?}\n\
+         paths in snapshot but not in golden: {added:#?}\n\
+         If intentional: bump tg_telemetry::SCHEMA_VERSION and regenerate with\n\
+         UPDATE_TELEMETRY_GOLDEN=1 cargo test --test telemetry_schema"
+    );
+}
+
+#[test]
+fn fingerprint_matches_committed_golden() {
+    assert_matches_golden(&fingerprint(&shape_complete()), "in-process snapshot");
+}
+
+#[test]
+fn golden_file_is_sorted_and_deduped() {
+    if std::env::var_os("UPDATE_TELEMETRY_GOLDEN").is_some() {
+        return; // being rewritten by the sibling test this run
+    }
+    let golden = golden_lines();
+    assert!(!golden.is_empty(), "golden fingerprint must not be empty");
+    let mut sorted = golden.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(golden, sorted, "golden file must stay sorted and duplicate-free");
+}
+
+#[test]
+fn snapshot_round_trips_and_reserialized_shape_is_stable() {
+    let snap = shape_complete();
+    let json = serde_json::to_string(&snap).expect("serialize");
+    let back: TelemetrySnapshot = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, snap, "round trip must preserve every field");
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
+    assert_eq!(
+        fingerprint(&back),
+        fingerprint(&snap),
+        "re-serialized snapshot changed shape"
+    );
+}
+
+/// CI hook: when `TELEMETRY_STATS_JSON` names a `--stats-json` artifact
+/// written by a bench binary, parse it strictly (every schema field must
+/// be present), round-trip it, and hold its shape-completed fingerprint
+/// to the same golden. A no-op locally when the variable is unset.
+#[test]
+fn stats_json_artifact_round_trips_against_golden() {
+    let Some(path) = std::env::var_os("TELEMETRY_STATS_JSON") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.to_string_lossy()));
+    let mut snap: TelemetrySnapshot = serde_json::from_str(&text)
+        .expect("--stats-json artifact must parse as a TelemetrySnapshot");
+    assert_eq!(
+        snap.schema_version, SCHEMA_VERSION,
+        "artifact was written under a different schema version"
+    );
+    let rejson = serde_json::to_string(&snap).expect("re-serialize");
+    let back: TelemetrySnapshot = serde_json::from_str(&rejson).expect("re-parse");
+    assert_eq!(back, snap, "artifact must survive a serde round trip");
+    // Offline runs leave `stages`/`workers` empty; shape-complete them so
+    // the element paths compare against the same golden as the in-process
+    // fingerprint.
+    if snap.stages.is_empty() {
+        snap.stages = Recorder::disabled().breakdown();
+    }
+    if snap.latency.workers.is_empty() {
+        snap.latency.workers.push(Default::default());
+    }
+    assert_matches_golden(&fingerprint(&snap), "--stats-json artifact");
+}
