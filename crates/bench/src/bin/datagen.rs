@@ -11,7 +11,7 @@
 use std::io::Write;
 use tg_bench::{harness, ExpArgs};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let mut dataset = "snap-msg".to_string();
     let mut out_dir = "data".to_string();
     let mut passthrough: Vec<String> = Vec::new();
@@ -53,11 +53,11 @@ fn main() {
         eprintln!("error: cannot write {}: {e}", path.display());
         std::process::exit(1);
     }));
-    writeln!(f, "u,i,ts,label,idx").unwrap();
+    writeln!(f, "u,i,ts,label,idx")?;
     for e in ds.stream.edges() {
-        writeln!(f, "{},{},{},0,{}", e.src, e.dst, e.time, e.eid).unwrap();
+        writeln!(f, "{},{},{},0,{}", e.src, e.dst, e.time, e.eid)?;
     }
-    f.flush().unwrap();
+    f.flush()?;
     println!(
         "wrote {} ({} edges, {} nodes, max t {})",
         path.display(),
@@ -65,4 +65,5 @@ fn main() {
         ds.stream.num_nodes(),
         ds.stream.max_time()
     );
+    Ok(())
 }

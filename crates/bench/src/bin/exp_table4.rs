@@ -27,7 +27,7 @@ fn main() {
         let ds = harness::dataset_for(&args, spec.name);
         let params = harness::params_for(&args, &ds);
         for &limit_full in &limits_full {
-            let limit = ((limit_full as f64 * args.scale).round() as usize).max(16);
+            let limit = ((limit_full as f64 * args.scale).round() as usize).max(16); // lint: allow(lossy-cast, scaled cache limit is a small non-negative count)
             let opt = OptConfig::all().with_cache_limit(limit);
             let mut times = Vec::new();
             let mut bytes = 0usize;

@@ -131,7 +131,7 @@ fn verify(cli: &CliOpts, ds: &tg_datasets::Dataset, params: &tgat::TgatParams) {
     for batch in BatchIter::new(&ds.stream, cli.base.batch_size) {
         let (ns, ts) = batch.targets();
         let hb = base.embed_batch(&ns, &ts);
-        let ho = ours.embed_batch(&ns, &ts).expect("tgopt inference failed");
+        let ho = ours.embed_batch(&ns, &ts).unwrap_or_else(|e| fail("tgopt inference", e));
         worst = worst.max(hb.max_abs_diff(&ho));
         batches += 1;
     }
@@ -209,6 +209,13 @@ fn engine_report(
     }
 }
 
+/// Prints `what: err` and exits. Bench binaries fail loudly with a clean
+/// message instead of unwinding a panic mid-benchmark.
+fn fail(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}: {err}");
+    std::process::exit(1);
+}
+
 fn main() {
     let cli = parse();
     let ds = match &cli.csv {
@@ -261,7 +268,7 @@ fn main() {
         bm * 1e3,
         bs * 1e3,
         1.0,
-        base_run.as_ref().expect("ran at least once"),
+        base_run.as_ref().unwrap_or_else(|| fail("report", "baseline never ran")),
     )];
     // --stats-json reports the most optimized engine that ran.
     let mut telemetry = base_run.as_ref().map(|r| r.telemetry());
@@ -294,7 +301,7 @@ fn main() {
             table::fmt_secs(os),
             bm / om.max(1e-12)
         );
-        let r = opt_run.expect("ran at least once");
+        let r = opt_run.unwrap_or_else(|| fail("report", "optimized engine never ran"));
         telemetry = Some(r.telemetry());
         engine_reports.push(engine_report("tgopt", om * 1e3, os * 1e3, bm / om.max(1e-12), &r));
         println!(
@@ -305,7 +312,7 @@ fn main() {
             r.counters.dedup_removed
         );
         if cli.stats {
-            let b = base_run.expect("ran at least once");
+            let b = base_run.unwrap_or_else(|| fail("report", "baseline never ran"));
             let mut rows = Vec::new();
             for kind in OpKind::ALL {
                 let cell = |v: f64| if v == 0.0 { "-".into() } else { format!("{v:.3}") };
@@ -318,7 +325,7 @@ fn main() {
             println!("\n{}", table::render(&["operation (secs)", "base", "ours"], &rows));
         }
     } else if cli.stats {
-        let b = base_run.expect("ran at least once");
+        let b = base_run.unwrap_or_else(|| fail("report", "baseline never ran"));
         let mut rows = Vec::new();
         for kind in OpKind::ALL {
             let v = b.stats.total(kind).as_secs_f64();
@@ -341,7 +348,7 @@ fn main() {
             neighbors: cli.base.n_neighbors,
             engines: engine_reports,
         };
-        let text = serde_json::to_string(&report).expect("report serializes");
+        let text = serde_json::to_string(&report).unwrap_or_else(|e| fail("report serialization", e));
         if let Err(e) = std::fs::write(path, table::pretty_json(&text) + "\n") {
             eprintln!("error: failed to write {path}: {e}");
             std::process::exit(1);
@@ -351,7 +358,7 @@ fn main() {
 
     if let Some(path) = &cli.stats_json {
         let snap = telemetry.take().unwrap_or_else(tg_telemetry::TelemetrySnapshot::new);
-        let text = serde_json::to_string(&snap).expect("telemetry snapshot serializes");
+        let text = serde_json::to_string(&snap).unwrap_or_else(|e| fail("telemetry snapshot serialization", e));
         if let Err(e) = std::fs::write(path, table::pretty_json(&text) + "\n") {
             eprintln!("error: failed to write {path}: {e}");
             std::process::exit(1);

@@ -130,13 +130,20 @@ fn query_stream(
         .collect()
 }
 
+/// Prints `what: err` and exits. Bench binaries fail loudly with a clean
+/// message instead of unwinding a panic through worker threads.
+fn fail(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}: {err}");
+    std::process::exit(1);
+}
+
 fn main() {
     let o = parse();
     let spec = tg_datasets::spec_by_name(&o.dataset).unwrap_or_else(|| {
         eprintln!("error: unknown dataset {:?}", o.dataset);
         std::process::exit(2);
     });
-    let data = tg_datasets::generate(&spec, o.scale, o.seed).expect("dataset generation");
+    let data = tg_datasets::generate(&spec, o.scale, o.seed).unwrap_or_else(|e| fail("dataset generation", e));
     let cfg = TgatConfig {
         dim: o.dim,
         edge_dim: data.dim(),
@@ -145,7 +152,7 @@ fn main() {
         n_heads: 2,
         n_neighbors: 10,
     };
-    let params = TgatParams::init(cfg, o.seed).expect("param init");
+    let params = TgatParams::init(cfg, o.seed).unwrap_or_else(|e| fail("param init", e));
     let graph = TemporalGraph::from_stream(&data.stream);
     let node_features = Tensor::zeros(data.stream.num_nodes(), cfg.dim);
     let t_query = data.stream.max_time() * 1.01;
@@ -157,7 +164,7 @@ fn main() {
 
     let bundle = Arc::new(
         ModelBundle::new(params, graph, node_features, data.edge_features.clone())
-            .expect("bundle"),
+            .unwrap_or_else(|e| fail("model bundle", e)),
     );
 
     let streams: Vec<Vec<(NodeId, Time)>> = (0..o.clients)
@@ -187,7 +194,7 @@ fn main() {
             for chunk in stream.chunks(o.max_batch.max(1)) {
                 let ns: Vec<NodeId> = chunk.iter().map(|&(n, _)| n).collect();
                 let ts: Vec<Time> = chunk.iter().map(|&(_, t)| t).collect();
-                let _ = eng.embed_batch(&ns, &ts).expect("direct embed");
+                let _ = eng.embed_batch(&ns, &ts).unwrap_or_else(|e| fail("direct embed", e));
             }
         }
         start.elapsed().as_secs_f64()
@@ -209,7 +216,7 @@ fn main() {
     if let Some(b) = o.budget_bytes {
         cfg_serve = cfg_serve.with_memory_budget(b);
     }
-    let server = TgServer::threaded(Arc::clone(&bundle), cfg_serve).expect("server");
+    let server = TgServer::threaded(Arc::clone(&bundle), cfg_serve).unwrap_or_else(|e| fail("server start", e));
 
     let start = Instant::now();
     let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
@@ -223,10 +230,10 @@ fn main() {
                         let submitted = Instant::now();
                         match server.submit(n, t) {
                             Ok(ticket) => {
-                                let _ = ticket.wait().expect("serve embed");
+                                let _ = ticket.wait().unwrap_or_else(|e| fail("serve embed", e));
                                 lat.push(submitted.elapsed().as_secs_f64() * 1e6);
                             }
-                            Err(e) => panic!("submission failed: {e}"),
+                            Err(e) => fail("submission", e),
                         }
                     }
                     lat
@@ -235,7 +242,7 @@ fn main() {
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
+            .flat_map(|h| h.join().unwrap_or_else(|_| fail("client thread", "panicked")))
             .collect()
     });
     let serve_seconds = start.elapsed().as_secs_f64();
@@ -277,7 +284,7 @@ fn main() {
     );
 
     if let Some(path) = &o.stats_json {
-        let text = serde_json::to_string(&telemetry).expect("telemetry snapshot serializes");
+        let text = serde_json::to_string(&telemetry).unwrap_or_else(|e| fail("telemetry snapshot serialization", e));
         if let Err(e) = std::fs::write(path, tg_bench::table::pretty_json(&text) + "\n") {
             eprintln!("error: failed to write {path}: {e}");
             std::process::exit(1);

@@ -100,7 +100,7 @@ impl EmbedCache {
     /// - The hit/lookup counters grow by exactly `keys.len()` attempted and
     ///   `mask.count_ones()` hit; no map or FIFO state changes.
     /// - Sequential and parallel modes produce identical masks and rows.
-    pub fn lookup(&self, keys: &[u64], out: &mut Tensor, parallel: bool) -> Result<Vec<bool>, TgError> {
+    pub fn lookup(&self, keys: &[u64], out: &mut Tensor, parallel: bool) -> Result<Vec<bool>, TgError> { // alloc-ok: the hit mask is the return value; embedding rows land in the caller's scratch tensor
         if out.shape() != (keys.len(), self.dim) {
             return Err(TgError::shape(
                 "EmbedCache::lookup output",
@@ -148,7 +148,7 @@ impl EmbedCache {
     ///   FIFO, so `len()` only counts distinct live keys.
     /// - Every key newly inserted by this call is appended to the FIFO
     ///   exactly once, after all older entries.
-    pub fn store(&self, keys: &[u64], h: &Tensor, parallel: bool) -> Result<(), TgError> {
+    pub fn store(&self, keys: &[u64], h: &Tensor, parallel: bool) -> Result<(), TgError> { // alloc-ok: cache admission must copy the rows it will own; the fresh-key list is bounded by the batch
         if h.shape() != (keys.len(), self.dim) {
             return Err(TgError::shape(
                 "EmbedCache::store input",
@@ -512,6 +512,20 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.total_hits(), 2);
         assert_eq!(cache.total_lookups(), 3);
+    }
+
+    #[test]
+    fn mis_shaped_buffers_are_rejected_as_shape_mismatch() {
+        // Callers dispatch on the variant (degraded-mode handling must be
+        // able to tell a shape bug from an I/O failure), so assert the
+        // variant itself, not just that an error came back.
+        let cache = EmbedCache::new(10, 3);
+        let keys = [pack_key(1, 1.0)];
+        let mut narrow = Tensor::zeros(1, 2);
+        let err = cache.lookup(&keys, &mut narrow, false).unwrap_err();
+        assert!(matches!(err, TgError::ShapeMismatch { ref context, .. } if context.contains("lookup")));
+        let err = cache.store(&keys, &Tensor::zeros(2, 3), false).unwrap_err();
+        assert!(matches!(err, TgError::ShapeMismatch { ref context, .. } if context.contains("store")));
     }
 
     #[test]

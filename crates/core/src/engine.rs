@@ -311,9 +311,10 @@ impl<'a> TgoptEngine<'a> {
     /// Drop-in equivalent of `BaselineEngine::embed_batch`, except that
     /// internal cache shape violations surface as [`TgError`] instead of
     /// aborting the serving thread.
+    // hot-path-root
     pub fn embed_batch(&mut self, ns: &[NodeId], ts: &[Time]) -> Result<Tensor, TgError> {
         if ns.len() != ts.len() {
-            return Err(TgError::InvalidArgument(format!(
+            return Err(TgError::InvalidArgument(format!( // alloc-ok: rejection path only; one message String per invalid request
                 "embed_batch needs one timestamp per node: {} nodes vs {} times",
                 ns.len(),
                 ts.len()
@@ -369,14 +370,14 @@ impl<'a> TgoptEngine<'a> {
             self.counters.cache_hits += hit_mask.iter().filter(|&&m| m).count() as u64;
             (keys, hit_mask)
         } else {
-            (Vec::new(), vec![false; n_uniq])
+            (Vec::new(), vec![false; n_uniq]) // alloc-ok: cache-disabled fallback; one empty key vec and one bool mask per batch
         };
 
         let miss_idx: Vec<usize> =
-            (0..n_uniq).filter(|&i| !hit_mask[i]).collect();
+            (0..n_uniq).filter(|&i| !hit_mask[i]).collect(); // alloc-ok: Algorithm 1 miss bookkeeping; shrinks to empty as hit rate rises
         if !miss_idx.is_empty() {
-            let m_ns: Vec<NodeId> = miss_idx.iter().map(|&i| uns[i]).collect();
-            let m_ts: Vec<Time> = miss_idx.iter().map(|&i| uts[i]).collect();
+            let m_ns: Vec<NodeId> = miss_idx.iter().map(|&i| uns[i]).collect(); // alloc-ok: miss-target ids; variable-size id lists are not poolable f32 scratch
+            let m_ts: Vec<Time> = miss_idx.iter().map(|&i| uts[i]).collect(); // alloc-ok: miss-target times; same per-batch id bookkeeping as m_ns
 
             let (graph, sampler) = (self.ctx.graph, &self.sampler);
             let nb = self.stats.time(OpKind::NghLookup, || sampler.sample(graph, &m_ns, &m_ts));
@@ -451,7 +452,7 @@ impl<'a> TgoptEngine<'a> {
 
             if let Some(cache) = cache_l {
                 if self.store_enabled {
-                    let miss_keys: Vec<u64> = miss_idx.iter().map(|&i| keys[i]).collect();
+                    let miss_keys: Vec<u64> = miss_idx.iter().map(|&i| keys[i]).collect(); // alloc-ok: Algorithm 3 CacheStore keys; one u64 per recomputed row
                     let parallel = self.opt.parallel_store;
                     self.stats
                         .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel))?;

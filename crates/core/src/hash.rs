@@ -36,7 +36,7 @@ pub fn unpack_key(key: u64) -> (NodeId, Time) {
 
 /// Batched key computation (the `ComputeKeys` operation of Algorithm 1).
 /// Each pair is independent, so large batches are parallelized.
-pub fn compute_keys(ns: &[NodeId], ts: &[Time], parallel: bool) -> Vec<u64> {
+pub fn compute_keys(ns: &[NodeId], ts: &[Time], parallel: bool) -> Vec<u64> { // alloc-ok: the key vector is the return value (ComputeKeys output), one u64 per target
     assert_eq!(ns.len(), ts.len(), "node/time array length mismatch");
     if parallel && ns.len() >= 4096 {
         ns.par_iter().zip(ts.par_iter()).map(|(&n, &t)| pack_key(n, t)).collect()

@@ -63,7 +63,7 @@ impl TimeCache {
     ///   [`TimeCache::precompute`]; only the hit/miss counters change.
     /// - `hits() + misses()` grows by exactly `dts.len()`.
     /// - Every output row is bit-identical to `encoder.encode` of its delta.
-    pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
+    pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor { // alloc-ok: allocating convenience wrapper; the hot path calls encode_into with a scratch destination
         let mut out = Tensor::zeros(dts.len(), self.dim());
         self.encode_into(encoder, dts, &mut out);
         out
@@ -85,8 +85,8 @@ impl TimeCache {
         let d = self.dim();
         let window = self.window();
         assert_eq!(out.shape(), (dts.len(), d), "time-encode destination shape mismatch");
-        let mut miss_rows: Vec<usize> = Vec::new();
-        let mut miss_dts: Vec<f32> = Vec::new();
+        let mut miss_rows: Vec<usize> = Vec::new(); // alloc-ok: miss bookkeeping stays empty while deltas hit the precomputed window
+        let mut miss_dts: Vec<f32> = Vec::new(); // alloc-ok: miss deltas batched into one fallback encode; empty on the all-hit path
         for (r, &dt) in dts.iter().enumerate() {
             let idx = dt as usize; // lint: allow(lossy-cast, used only when dt is a non-negative integer below window)
             // Hit iff dt is a non-negative integer inside the window.
@@ -94,8 +94,8 @@ impl TimeCache {
                 out.row_mut(r).copy_from_slice(self.table.row(idx));
                 self.hits += 1;
             } else {
-                miss_rows.push(r);
-                miss_dts.push(dt);
+                miss_rows.push(r); // alloc-ok: grows only on cache misses
+                miss_dts.push(dt); // alloc-ok: grows only on cache misses
                 self.misses += 1;
             }
         }
@@ -208,7 +208,7 @@ impl HashTimeCache {
     /// - A memoized row is never overwritten — repeats of a delta serve the
     ///   originally computed bits.
     /// - `hits() + misses()` grows by exactly `dts.len()`.
-    pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor {
+    pub fn encode(&mut self, encoder: &TimeEncoder, dts: &[f32]) -> Tensor { // alloc-ok: allocating convenience wrapper; the hot path calls encode_into with a scratch destination
         let mut out = Tensor::zeros(dts.len(), encoder.dim());
         self.encode_into(encoder, dts, &mut out);
         out
@@ -233,9 +233,9 @@ impl HashTimeCache {
             "time-encode destination shape mismatch"
         );
         // rows to fill from the freshly computed block: (out row, block row)
-        let mut fills: Vec<(usize, usize)> = Vec::new();
+        let mut fills: Vec<(usize, usize)> = Vec::new(); // alloc-ok: miss bookkeeping; empty once the memo table has seen the working set
         let mut pending: rustc_hash::FxHashMap<u32, usize> = Default::default();
-        let mut miss_dts: Vec<f32> = Vec::new();
+        let mut miss_dts: Vec<f32> = Vec::new(); // alloc-ok: distinct missing deltas batched into one fallback encode
         for (r, &dt) in dts.iter().enumerate() {
             if let Some(row) = self.table.get(&dt.to_bits()) {
                 out.row_mut(r).copy_from_slice(row);
@@ -244,13 +244,13 @@ impl HashTimeCache {
             }
             match pending.entry(dt.to_bits()) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    fills.push((r, *e.get()));
+                    fills.push((r, *e.get())); // alloc-ok: grows only on cache misses
                     self.hits += 1;
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(miss_dts.len());
-                    fills.push((r, miss_dts.len()));
-                    miss_dts.push(dt);
+                    fills.push((r, miss_dts.len())); // alloc-ok: grows only on cache misses
+                    miss_dts.push(dt); // alloc-ok: grows only on cache misses
                     self.misses += 1;
                 }
             }

@@ -280,6 +280,7 @@ fn merge_engine_telemetry(shared: &Shared, engine: TgoptEngine<'_>) {
     tc.1 += tc_misses;
 }
 
+// hot-path-root(serve)
 fn worker_loop(
     shared: Arc<Shared>,
     rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>,
@@ -404,6 +405,7 @@ impl TgServer {
     /// `submitted` is recorded before any terminal counter — and before
     /// the request becomes visible to workers — so every counter snapshot
     /// satisfies `submitted >= completed + rejected_deadline`.
+    // hot-path-root(serve)
     pub fn submit_request(&self, req: Request) -> Result<Ticket, TgError> {
         let submitted_at = Instant::now();
         self.shared.counters.record_submitted();
@@ -441,6 +443,7 @@ impl TgServer {
     /// Deterministic mode only: processes every queued request on the
     /// calling thread, in submission order, flushing a micro-batch every
     /// `max_batch` requests. Returns how many requests were processed.
+    // hot-path-root(serve)
     pub fn drain(&self) -> Result<usize, TgError> {
         if !self.deterministic {
             return Err(TgError::InvalidArgument(

@@ -120,6 +120,7 @@ pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
 /// Every output element is written exactly once (no zero-fill pass), which
 /// is what makes this the right way to build the attention inputs
 /// `[h | e | Phi]` inside scratch buffers.
+// hot-path-root(alloc)
 pub fn concat_cols_into(parts: &[&Tensor], out: &mut Tensor) {
     assert!(!parts.is_empty(), "concat_cols needs at least one part");
     let rows = parts[0].rows();
@@ -162,6 +163,7 @@ pub fn gather_rows(src: &Tensor, idx: &[usize]) -> Tensor {
 
 /// [`gather_rows`] into a preallocated `[idx.len(), src.cols()]`
 /// destination; prior contents are overwritten.
+// hot-path-root(alloc)
 pub fn gather_rows_into(src: &Tensor, idx: &[usize], out: &mut Tensor) {
     let cols = src.cols();
     assert_eq!(out.shape(), (idx.len(), cols), "gather_rows_into: bad output shape");
@@ -180,6 +182,32 @@ pub fn gather_rows_into(src: &Tensor, idx: &[usize], out: &mut Tensor) {
     }
 }
 
+/// [`gather_rows_into`] with the index list expressed as a map over
+/// `0..n`: `out.row(i) = src.row(map(i))`. Lets hot-path callers translate
+/// ids (node ids, edge ids with padding) on the fly instead of
+/// materialising a `Vec<usize>` index buffer per batch.
+// hot-path-root(alloc)
+pub fn gather_rows_map_into<F>(src: &Tensor, n: usize, map: F, out: &mut Tensor)
+where
+    F: Fn(usize) -> usize + Sync,
+{
+    let cols = src.cols();
+    assert_eq!(out.shape(), (n, cols), "gather_rows_map_into: bad output shape");
+    if out.is_empty() {
+        return;
+    }
+    if n * cols < PAR_THRESHOLD {
+        for i in 0..n {
+            out.row_mut(i).copy_from_slice(src.row(map(i)));
+        }
+    } else {
+        out.as_mut_slice()
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, orow)| orow.copy_from_slice(src.row(map(i))));
+    }
+}
+
 /// Splits the first `n` rows off a tensor, returning `(head, tail)`.
 pub fn split_rows(t: &Tensor, n: usize) -> (Tensor, Tensor) {
     assert!(n <= t.rows(), "split point beyond row count");
@@ -191,6 +219,7 @@ pub fn split_rows(t: &Tensor, n: usize) -> (Tensor, Tensor) {
 
 /// [`split_rows`] into two preallocated destinations of shapes
 /// `[n, cols]` and `[t.rows()-n, cols]`.
+// hot-path-root(alloc)
 pub fn split_rows_into(t: &Tensor, n: usize, head: &mut Tensor, tail: &mut Tensor) {
     assert!(n <= t.rows(), "split point beyond row count");
     let cols = t.cols();
@@ -277,6 +306,7 @@ pub fn attn_scores(q: &Tensor, key: &Tensor, scale: f32) -> Tensor {
 
 /// [`attn_scores`] into a preallocated `[N, K]` destination; prior contents
 /// are overwritten. For `N == 0` the destination must have zero rows.
+// hot-path-root(alloc)
 pub fn attn_scores_into(q: &Tensor, key: &Tensor, scale: f32, out: &mut Tensor) {
     let (n, d) = q.shape();
     if n == 0 {
@@ -324,6 +354,7 @@ pub fn attn_weighted_sum(w: &Tensor, v: &Tensor) -> Tensor {
 /// buffer, eliminating the per-head temporary plus copy. The target block is
 /// zeroed first; the per-slot `weight == 0.0` skip is the masked-padding
 /// fast path (softmax writes exact zeros there), not a dense-path branch.
+// hot-path-root(alloc)
 pub fn attn_weighted_sum_into(w: &Tensor, v: &Tensor, out: &mut Tensor, col_off: usize) {
     let (n, k) = w.shape();
     assert_eq!(v.rows(), n * k, "value rows must equal N*K");
@@ -469,6 +500,16 @@ mod tests {
         let (h, t) = split_rows(&src, 1);
         assert_eq!(head.as_slice(), h.as_slice());
         assert_eq!(tail.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn gather_rows_map_into_matches_gather_rows() {
+        let src = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let idx = [2usize, 0, 2, 1];
+        let expect = gather_rows(&src, &idx);
+        let mut out = Tensor::full(4, 2, 9.0);
+        gather_rows_map_into(&src, idx.len(), |i| idx[i], &mut out);
+        assert_eq!(out.as_slice(), expect.as_slice());
     }
 
     #[test]

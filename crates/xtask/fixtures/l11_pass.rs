@@ -1,0 +1,22 @@
+//! L11 pass fixture: `total_cmp` comparators, a sorted-key float sum,
+//! and an integer count over hash iteration (associative, so order-free).
+
+use rustc_hash::FxHashMap;
+
+pub fn pick(a: f32, b: f32) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+pub fn order(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn total(m: &FxHashMap<u64, f32>) -> f32 {
+    let mut keys: Vec<u64> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys.iter().map(|k| m[k]).sum::<f32>()
+}
+
+pub fn live_entries(m: &FxHashMap<u64, f32>) -> usize {
+    m.values().filter(|v| v.is_finite()).count()
+}

@@ -1,0 +1,28 @@
+//! L12 fail fixture: `Overloaded` is constructed but nothing ever
+//! matches it (callers can only stringify the error, never shed load on
+//! it), and `Spare` is matched in one place but never constructed.
+
+pub enum TgError {
+    Parse { message: String },
+    Overloaded { capacity: usize },
+    Spare,
+}
+
+pub fn admit(n: usize) -> Result<(), TgError> {
+    if n > 8 {
+        return Err(TgError::Overloaded { capacity: 8 });
+    }
+    Ok(())
+}
+
+pub fn mk_parse() -> TgError {
+    TgError::Parse { message: String::new() }
+}
+
+pub fn is_parse(e: &TgError) -> bool {
+    matches!(e, TgError::Parse { .. })
+}
+
+pub fn is_spare(e: &TgError) -> bool {
+    matches!(e, TgError::Spare)
+}

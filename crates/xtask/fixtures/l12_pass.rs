@@ -1,0 +1,21 @@
+//! L12 pass fixture: every variant is both constructed somewhere and
+//! matched somewhere.
+
+pub enum TgError {
+    Parse { message: String },
+    Overloaded { capacity: usize },
+}
+
+pub fn admit(n: usize) -> Result<(), TgError> {
+    if n > 8 {
+        return Err(TgError::Overloaded { capacity: 8 });
+    }
+    Err(TgError::Parse { message: String::new() })
+}
+
+pub fn retryable(e: &TgError) -> bool {
+    match e {
+        TgError::Overloaded { .. } => true,
+        TgError::Parse { .. } => false,
+    }
+}

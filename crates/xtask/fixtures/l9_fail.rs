@@ -1,0 +1,21 @@
+//! L9 fail fixture: `embed_wave` is a hot-path root, and both of its
+//! transitive callees allocate per call — a capacity'd Vec, an amortized
+//! `push`, and a `format!` String — with no `// alloc-ok:` reasons.
+
+// hot-path-root
+pub fn embed_wave(xs: &mut [f32]) -> String {
+    let idx = gather(xs);
+    score(idx, xs)
+}
+
+fn gather(xs: &[f32]) -> Vec<usize> {
+    let mut idx = Vec::with_capacity(xs.len());
+    for (i, _) in xs.iter().enumerate() {
+        idx.push(i);
+    }
+    idx
+}
+
+fn score(idx: Vec<usize>, xs: &[f32]) -> String {
+    format!("{}:{}", idx.len(), xs.len())
+}

@@ -1,0 +1,34 @@
+//! L9 pass fixture: the root's steady state reuses scratch buffers; the
+//! one growth site carries an `// alloc-ok:` reason, the one-time pool
+//! construction is `// cold-path:`, and the allocating helper outside the
+//! closure is simply unreachable.
+
+// hot-path-root(alloc)
+pub fn embed_wave(xs: &mut [f32], scratch: &mut Scratch) {
+    ensure_ready(scratch);
+    let n = prepare(xs, scratch);
+    finish(xs, n);
+}
+
+// cold-path: one-time pool construction before the first wave is admitted
+fn ensure_ready(scratch: &mut Scratch) {
+    if scratch.pool.is_empty() {
+        scratch.pool = Vec::with_capacity(64);
+    }
+}
+
+fn prepare(xs: &[f32], scratch: &mut Scratch) -> usize {
+    scratch.idx.clear();
+    scratch.idx.push(xs.len()); // alloc-ok: grows to the high-water mark once, then reuses
+    xs.len()
+}
+
+fn finish(xs: &mut [f32], n: usize) {
+    for x in xs.iter_mut().take(n) {
+        *x += 1.0;
+    }
+}
+
+pub fn offline_report(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec() // unreachable from the root: not a finding
+}

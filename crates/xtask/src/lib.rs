@@ -11,14 +11,16 @@
 //! [`source`] for the lexical model that keeps patterns from matching
 //! inside comments, strings, or `#[cfg(test)]` items.
 
+pub mod callgraph;
 pub mod manifest;
 pub mod report;
 pub mod rules;
 pub mod scopes;
 pub mod source;
 
+pub use callgraph::CallGraph;
 pub use manifest::ConcurrencyManifest;
-pub use report::{render_json, render_text};
+pub use report::{render_json, render_text, SCHEMA_VERSION};
 pub use rules::{lint_source, lint_source_with, Finding, Lint, Scope};
 pub use source::SourceFile;
 
@@ -39,7 +41,14 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "crates/datasets",
     "crates/serve",
     "crates/telemetry",
+    "crates/error",
 ];
+
+/// Harness directories — `examples/` and the bench binaries. Covered by
+/// the panic/cast/concurrency/determinism lints (an example that panics
+/// is the first thing a new user runs into) and included in the
+/// call-graph file set, but exempt from the file-list-gated L3/L4/L8.
+pub const HARNESS_DIRS: &[&str] = &["examples", "crates/bench/src/bin"];
 
 /// Hot-path files where SipHash maps are banned (L3): the §4 memoization,
 /// dedup, and time-encode caches, their key packing, and their snapshot
@@ -104,49 +113,78 @@ impl LintReport {
 /// checked once per crate, because the two halves of a cycle usually live
 /// in different files. Files reachable through two crate roots are linted
 /// once (paths are canonicalized and deduped).
+///
+/// Three passes run over the whole workspace at once, after the per-file
+/// pass has parsed everything:
+///
+/// * **L9/L10** — one call graph spanning every non-test source (library
+///   `src/`, `examples/`, bench binaries), seeded from `// hot-path-root`
+///   annotations. Test files are deliberately excluded from the graph:
+///   a test helper calling `embed_batch` would otherwise pull the whole
+///   test suite into the zero-alloc closure.
+/// * **L12** — `TgError` construction/matching coverage over *every*
+///   parsed file, tests included (a test matching a variant is evidence
+///   the variant is handled).
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let manifest = manifest::load(root)?;
     let mut findings = Vec::new();
-    let mut files_checked = 0usize;
     let mut seen: BTreeSet<std::path::PathBuf> = BTreeSet::new();
+    // Parsed once, reused by the whole-workspace passes below: sources in
+    // the call-graph file set, and test sources (L12 only).
+    let mut graph_sources: Vec<SourceFile> = Vec::new();
+    let mut test_sources: Vec<SourceFile> = Vec::new();
 
-    // One graph unit per crate, plus one for the workspace-level
-    // integration suite (which exercises the same hot paths).
-    let mut units: Vec<(Vec<std::path::PathBuf>, Vec<std::path::PathBuf>)> = Vec::new();
+    // One lock-graph unit per crate, plus one for the workspace-level
+    // integration suite (which exercises the same hot paths), plus one
+    // per harness directory.
+    enum Kind {
+        Src,
+        Test,
+        Harness,
+    }
+    let mut units: Vec<Vec<(Kind, std::path::PathBuf)>> = Vec::new();
     for krate in LIBRARY_CRATES {
         let mut src_files = Vec::new();
         collect_rs_files(&root.join(krate).join("src"), &mut src_files)?;
         let mut test_files = Vec::new();
         collect_rs_files(&root.join(krate).join("tests"), &mut test_files)?;
-        units.push((src_files, test_files));
+        src_files.sort();
+        test_files.sort();
+        units.push(
+            src_files
+                .into_iter()
+                .map(|p| (Kind::Src, p))
+                .chain(test_files.into_iter().map(|p| (Kind::Test, p)))
+                .collect(),
+        );
     }
     let mut root_tests = Vec::new();
     collect_rs_files(&root.join("tests"), &mut root_tests)?;
-    units.push((Vec::new(), root_tests));
+    root_tests.sort();
+    units.push(root_tests.into_iter().map(|p| (Kind::Test, p)).collect());
+    for dir in HARNESS_DIRS {
+        let mut files = Vec::new();
+        collect_rs_files(&root.join(dir), &mut files)?;
+        files.sort();
+        units.push(files.into_iter().map(|p| (Kind::Harness, p)).collect());
+    }
 
-    for (mut src_files, mut test_files) in units {
-        src_files.sort();
-        test_files.sort();
+    for unit in units {
         let mut edges: Vec<LockEdge> = Vec::new();
-        for (is_test_file, path) in src_files
-            .iter()
-            .map(|p| (false, p))
-            .chain(test_files.iter().map(|p| (true, p)))
-        {
+        for (kind, path) in unit {
             let canonical = path.canonicalize().unwrap_or_else(|_| path.clone());
             if !seen.insert(canonical) {
                 continue; // already linted via another crate root
             }
             let rel = path
                 .strip_prefix(root)
-                .unwrap_or(path)
+                .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let scope = if is_test_file {
+            let scope = match kind {
                 // Concurrency lints only; L5 edges are aggregated below.
-                Scope { atomics: true, lock_across: true, ..Scope::default() }
-            } else {
-                Scope {
+                Kind::Test => Scope { atomics: true, lock_across: true, ..Scope::default() },
+                Kind::Src => Scope {
                     panic: true,
                     lossy_cast: true,
                     std_hash: HOT_HASH_FILES.contains(&rel.as_str()),
@@ -155,19 +193,72 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                     atomics: true,
                     lock_across: true,
                     counters: COUNTER_FILES.contains(&rel.as_str()),
-                }
+                    float_determinism: true,
+                    ..Scope::default()
+                },
+                Kind::Harness => Scope {
+                    panic: true,
+                    lossy_cast: true,
+                    atomics: true,
+                    lock_across: true,
+                    float_determinism: true,
+                    ..Scope::default()
+                },
             };
-            let text = std::fs::read_to_string(path)?;
+            let text = std::fs::read_to_string(&path)?;
             let src = SourceFile::parse(rel, text);
             findings.extend(lint_source_with(&src, scope, &manifest));
             edges.extend(extract_lock_edges(&src));
-            files_checked += 1;
+            match kind {
+                Kind::Test => test_sources.push(src),
+                Kind::Src | Kind::Harness => graph_sources.push(src),
+            }
         }
         findings.extend(check_lock_graph(&edges, &manifest));
     }
+
+    // L9/L10: one reachability pass over the whole non-test file set.
+    let graph = CallGraph::build(&graph_sources);
+    findings.extend(graph.lint_hot_path_alloc());
+    findings.extend(graph.lint_panic_reach());
+
+    // L12: construction/matching coverage over everything, tests included.
+    let all: Vec<&SourceFile> = graph_sources.iter().chain(test_sources.iter()).collect();
+    findings.extend(rules::lint_error_coverage(&all));
+
+    let files_checked = graph_sources.len() + test_sources.len();
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     findings.dedup();
     Ok(LintReport { findings, files_checked })
+}
+
+/// Parses the call-graph file set (library `src/`, `examples/`, bench
+/// binaries) for the `callgraph` subcommand — same discovery and dedup
+/// rules as [`lint_workspace`], no linting.
+pub fn workspace_graph_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut seen: BTreeSet<std::path::PathBuf> = BTreeSet::new();
+    let mut files = Vec::new();
+    for krate in LIBRARY_CRATES {
+        collect_rs_files(&root.join(krate).join("src"), &mut files)?;
+    }
+    for dir in HARNESS_DIRS {
+        collect_rs_files(&root.join(dir), &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let canonical = path.canonicalize().unwrap_or_else(|_| path.clone());
+        if !seen.insert(canonical) {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile::parse(rel, std::fs::read_to_string(&path)?));
+    }
+    Ok(out)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
@@ -210,6 +301,10 @@ mod fixture_tests {
             atomics: lint == Lint::Atomics,
             lock_across: lint == Lint::LockAcross,
             counters: lint == Lint::UnguardedCounter,
+            hot_path_alloc: lint == Lint::HotPathAlloc,
+            panic_reach: lint == Lint::PanicReach,
+            float_determinism: lint == Lint::FloatDeterminism,
+            error_coverage: lint == Lint::ErrorCoverage,
         }
     }
 
@@ -315,6 +410,56 @@ mod fixture_tests {
     }
 
     #[test]
+    fn l9_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l9_pass.rs", scope_for(Lint::HotPathAlloc)).len(), 0);
+    }
+
+    #[test]
+    fn l9_fail_fixture_fires_on_reachable_allocations() {
+        let f = lint_fixture("l9_fail.rs", scope_for(Lint::HotPathAlloc));
+        assert_eq!(f.len(), 3, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::HotPathAlloc));
+    }
+
+    #[test]
+    fn l10_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l10_pass.rs", scope_for(Lint::PanicReach)).len(), 0);
+    }
+
+    #[test]
+    fn l10_fail_fixture_fires_on_reachable_panics() {
+        let f = lint_fixture("l10_fail.rs", scope_for(Lint::PanicReach));
+        assert_eq!(f.len(), 3, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::PanicReach));
+    }
+
+    #[test]
+    fn l11_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l11_pass.rs", scope_for(Lint::FloatDeterminism)).len(), 0);
+    }
+
+    #[test]
+    fn l11_fail_fixture_fires_on_nondeterministic_float_patterns() {
+        let f = lint_fixture("l11_fail.rs", scope_for(Lint::FloatDeterminism));
+        assert_eq!(f.len(), 3, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::FloatDeterminism));
+    }
+
+    #[test]
+    fn l12_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l12_pass.rs", scope_for(Lint::ErrorCoverage)).len(), 0);
+    }
+
+    #[test]
+    fn l12_fail_fixture_fires_on_unbalanced_variants() {
+        let f = lint_fixture("l12_fail.rs", scope_for(Lint::ErrorCoverage));
+        assert_eq!(f.len(), 2, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::ErrorCoverage));
+        assert!(f.iter().any(|x| x.message.contains("never constructed")));
+        assert!(f.iter().any(|x| x.message.contains("never matched")));
+    }
+
+    #[test]
     fn fail_fixtures_fire_under_the_full_scope_too() {
         for name in [
             "l1_fail.rs",
@@ -325,6 +470,10 @@ mod fixture_tests {
             "l6_fail.rs",
             "l7_fail.rs",
             "l8_fail.rs",
+            "l9_fail.rs",
+            "l10_fail.rs",
+            "l11_fail.rs",
+            "l12_fail.rs",
         ] {
             assert!(
                 !lint_fixture(name, Scope::all()).is_empty(),

@@ -1,54 +1,60 @@
-//! CLI for the workspace lints: `cargo run -p tg-xtask -- lint`.
+//! CLI for the workspace lints: `cargo run -p tg-xtask -- lint` and the
+//! call-graph inspector `cargo run -p tg-xtask -- callgraph`.
 //!
-//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+//! Exit codes: 0 = clean, 1 = findings (`lint` only), 2 = usage or I/O
+//! error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 Usage: cargo run -p tg-xtask -- lint [--format text|json] [--root PATH]
+       cargo run -p tg-xtask -- callgraph [--format json|dot] [--root PATH]
 
-Runs the repo's static-analysis suite over the workspace library crates
-(src/, src/bin/, tests/) and the root integration suite:
+`lint` runs the repo's static-analysis suite over the workspace library
+crates (src/, src/bin/, tests/), the harness code (examples/, bench
+binaries), and the root integration suite:
 
   L1 panic               L5 lock-order        (per-crate acquisition graph)
   L2 lossy-cast          L6 atomics           (Relaxed control signals, torn RMW)
   L3 std-hash            L7 lock-across       (guards held across expensive calls)
   L4 missing-invariants  L8 unguarded-counter (accounting bypassing snapshot/merge)
+  L9 hot-path-alloc      L10 panic-reach      (call-graph reachability from
+                                               `// hot-path-root` annotations)
+  L11 float-determinism  L12 error-coverage   (TgError constructed AND matched)
+
+`callgraph` dumps the L9/L10 reachability graph itself: `--format json`
+for the full function/edge listing, `--format dot` for a Graphviz view of
+the hot-path closures.
 
 The canonical lock order and the control-atomics list live in
 concurrency.toml at the workspace root. See DESIGN.md \"Error handling &
 lint policy\" and \"Concurrency model\" for what each lint means and the
-`// lint: allow(<name>, <reason>)` / `// relaxed-ok: <reason>` escape
-hatches.";
-
-enum Format {
-    Text,
-    Json,
-}
+`// lint: allow(<name>, <reason>)` / `// relaxed-ok: <reason>` /
+`// alloc-ok: <reason>` / `// cold-path: <reason>` escape hatches.";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => {}
+    let command = match args.next().as_deref() {
+        Some("lint") => Cmd::Lint,
+        Some("callgraph") => Cmd::Callgraph,
         Some("-h") | Some("--help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         other => {
-            eprintln!("error: expected the `lint` subcommand, got {other:?}\n{USAGE}");
+            eprintln!("error: expected `lint` or `callgraph`, got {other:?}\n{USAGE}");
             return ExitCode::from(2);
         }
-    }
-    let mut format = Format::Text;
+    };
+    let mut format: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--format" => match args.next().as_deref() {
-                Some("text") => format = Format::Text,
-                Some("json") => format = Format::Json,
-                other => {
-                    eprintln!("error: --format takes `text` or `json`, got {other:?}");
+            "--format" => match args.next() {
+                Some(f) => format = Some(f),
+                None => {
+                    eprintln!("error: --format needs a value");
                     return ExitCode::from(2);
                 }
             },
@@ -72,22 +78,68 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match tg_xtask::lint_workspace(&root) {
+    match command {
+        Cmd::Lint => run_lint(&root, format.as_deref()),
+        Cmd::Callgraph => run_callgraph(&root, format.as_deref()),
+    }
+}
+
+enum Cmd {
+    Lint,
+    Callgraph,
+}
+
+fn run_lint(root: &Path, format: Option<&str>) -> ExitCode {
+    let json = match format {
+        None | Some("text") => false,
+        Some("json") => true,
+        other => {
+            eprintln!("error: lint --format takes `text` or `json`, got {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match tg_xtask::lint_workspace(root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: lint walk failed: {e}");
             return ExitCode::from(2);
         }
     };
-    match format {
-        Format::Text => print!("{}", tg_xtask::render_text(&report)),
-        Format::Json => println!("{}", tg_xtask::render_json(&report)),
+    if json {
+        println!("{}", tg_xtask::render_json(&report));
+    } else {
+        print!("{}", tg_xtask::render_text(&report));
     }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+fn run_callgraph(root: &Path, format: Option<&str>) -> ExitCode {
+    let dot = match format {
+        None | Some("json") => false,
+        Some("dot") => true,
+        other => {
+            eprintln!("error: callgraph --format takes `json` or `dot`, got {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let sources = match tg_xtask::workspace_graph_sources(root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: callgraph walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let graph = tg_xtask::CallGraph::build(&sources);
+    if dot {
+        print!("{}", graph.render_dot());
+    } else {
+        println!("{}", graph.render_json());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` declaring

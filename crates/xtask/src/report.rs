@@ -5,6 +5,7 @@
 //!
 //! ```json
 //! {
+//!   "schema_version": 2,
 //!   "files_checked": 30,
 //!   "count": 1,
 //!   "findings": [
@@ -13,8 +14,32 @@
 //!   ]
 //! }
 //! ```
+//!
+//! The shape is frozen behind [`SCHEMA_VERSION`] and the field-path
+//! golden `tests/golden/lint_schema.txt` (see `tests/lint_schema.rs`):
+//! adding, removing, or renaming a field fails the gate until the golden
+//! is regenerated *and* the version is bumped.
 
 use crate::LintReport;
+
+/// Version of the `lint --format json` / `callgraph --format json` report
+/// shapes. Bump on any change to the field set in [`schema_paths`].
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The sorted field-path fingerprint of the lint report JSON — the same
+/// `path: type` convention `tg_telemetry::schema_paths` uses, kept static
+/// here because the report writer itself is static (no serde).
+pub fn schema_paths() -> Vec<&'static str> {
+    vec![
+        "count: number",
+        "files_checked: number",
+        "findings[].file: string",
+        "findings[].line: number",
+        "findings[].lint: string",
+        "findings[].message: string",
+        "schema_version: number",
+    ]
+}
 
 /// Human-readable report, one `file:line: [lint] message` per finding.
 pub fn render_text(report: &LintReport) -> String {
@@ -33,6 +58,7 @@ pub fn render_text(report: &LintReport) -> String {
 /// Machine-readable report.
 pub fn render_json(report: &LintReport) -> String {
     let mut out = String::from("{");
+    out.push_str(&format!("\"schema_version\":{SCHEMA_VERSION},"));
     out.push_str(&format!("\"files_checked\":{},", report.files_checked));
     out.push_str(&format!("\"count\":{},", report.findings.len()));
     out.push_str("\"findings\":[");
@@ -52,7 +78,7 @@ pub fn render_json(report: &LintReport) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -106,6 +132,37 @@ mod tests {
     #[test]
     fn empty_report_is_valid_json() {
         let json = render_json(&LintReport { findings: vec![], files_checked: 0 });
-        assert_eq!(json, "{\"files_checked\":0,\"count\":0,\"findings\":[]}");
+        assert_eq!(
+            json,
+            format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\
+                 \"files_checked\":0,\"count\":0,\"findings\":[]}}"
+            )
+        );
+    }
+
+    #[test]
+    fn schema_paths_are_sorted_and_cover_the_rendered_fields() {
+        let paths = schema_paths();
+        let mut sorted = paths.clone();
+        sorted.sort_unstable();
+        assert_eq!(paths, sorted, "schema_paths must stay sorted");
+        // Every key the renderer writes appears in the fingerprint.
+        let json = render_json(&sample());
+        for path in &paths {
+            let key = path
+                .split(':')
+                .next()
+                .unwrap_or(path)
+                .trim()
+                .rsplit('.')
+                .next()
+                .unwrap_or(path)
+                .trim_end_matches("[]");
+            assert!(
+                json.contains(&format!("\"{key}\":")),
+                "schema path {path} has no key {key} in the rendered JSON"
+            );
+        }
     }
 }

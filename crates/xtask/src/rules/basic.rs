@@ -12,19 +12,11 @@
 //! `&mut self` receiver or a body that takes a write lock (`.write()`) or
 //! bumps shared counters (`.fetch_add(` / `.fetch_sub(`).
 
+use super::calls::PANIC_PATTERNS;
 use super::{bounded_matches, is_ident_byte, Finding, Lint};
 use crate::source::SourceFile;
 
 // --- L1: panic -------------------------------------------------------------
-
-const PANIC_PATTERNS: &[(&str, &str)] = &[
-    (".unwrap()", "`.unwrap()` panics on Err/None; return a `TgError` instead"),
-    (".expect(", "`.expect(...)` panics on Err/None; return a `TgError` instead"),
-    ("panic!", "`panic!` in library code; return a `TgError` instead"),
-    ("unreachable!", "`unreachable!` in library code; restructure so the compiler proves it"),
-    ("todo!", "`todo!` must not ship in library code"),
-    ("unimplemented!", "`unimplemented!` must not ship in library code"),
-];
 
 pub(crate) fn lint_panic(src: &SourceFile, out: &mut Vec<Finding>) {
     for &(pattern, message) in PANIC_PATTERNS {

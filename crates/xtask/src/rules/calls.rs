@@ -1,0 +1,71 @@
+//! Shared call-pattern tables: the single source of truth for the call
+//! classifications used by more than one rule.
+//!
+//! * [`PANIC_PATTERNS`] — panicking constructs. L1 (`panic`) flags them at
+//!   file scope; L10 (`panic-reach`) flags them anywhere transitively
+//!   reachable from a serve hot-path root.
+//! * [`EXPENSIVE_CALLS`] — calls that must not run under a lock guard
+//!   (L7 `lock-across`), and that the call-graph walker treats as leaf
+//!   externals rather than workspace edges.
+//! * [`ALLOC_CALLS`] — heap-allocating constructs. The runtime
+//!   steady-state zero-alloc assertions (PR-4/5) check a handful of entry
+//!   points empirically; L9 (`hot-path-alloc`) checks *everything*
+//!   reachable from a `// hot-path-root` statically against this table.
+//!
+//! Keeping the tables in one module means a pattern added for one rule is
+//! automatically considered by its siblings — the L7/L9/L10 drift this
+//! file exists to prevent.
+
+/// Panicking constructs, with the message L1/L10 attach to a finding.
+pub const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()` panics on Err/None; return a `TgError` instead"),
+    (".expect(", "`.expect(...)` panics on Err/None; return a `TgError` instead"),
+    ("panic!", "`panic!` in library code; return a `TgError` instead"),
+    ("unreachable!", "`unreachable!` in library code; restructure so the compiler proves it"),
+    ("todo!", "`todo!` must not ship in library code"),
+    ("unimplemented!", "`unimplemented!` must not ship in library code"),
+];
+
+/// Calls that must not run under a lock guard (L7): inference and matmul
+/// hot-path entry points, blocking channel/thread operations, and file
+/// I/O. Condvar waits are deliberately absent — waiting *requires* the
+/// guard.
+pub const EXPENSIVE_CALLS: &[&str] = &[
+    "embed_batch(",
+    "matmul(",
+    ".recv()",
+    ".recv_timeout(",
+    ".join()",
+    "thread::sleep",
+    "std::fs::",
+    "File::open",
+    "File::create",
+    "read_to_string(",
+    "write_all(",
+    ".await",
+];
+
+/// Heap-allocating constructs flagged by L9 (`hot-path-alloc`) when they
+/// are reachable from a `// hot-path-root`, unless the line (or the
+/// enclosing fn's declaration line) carries `// alloc-ok: <reason>`.
+///
+/// `Tensor::zeros(` / `Tensor::full(` are this workspace's idiomatic
+/// buffer constructors — spelled here so a hot path that "hides" an
+/// allocation behind them is still caught even though the `vec![]` lives
+/// inside `tg-tensor`.
+pub const ALLOC_CALLS: &[(&str, &str)] = &[
+    ("Vec::new(", "`Vec::new` allocates on first push; take a scratch buffer instead"),
+    ("Vec::with_capacity(", "`Vec::with_capacity` heap-allocates; take a scratch buffer instead"),
+    ("vec![", "`vec![...]` heap-allocates; take a scratch buffer instead"),
+    (".to_vec()", "`.to_vec()` clones into a fresh heap buffer"),
+    (".collect()", "`.collect()` materializes a fresh container"),
+    (".collect::<", "`.collect::<...>()` materializes a fresh container"),
+    (".push(", "`.push` can grow its container; reserve up front or reuse a scratch buffer"),
+    ("format!", "`format!` allocates a `String`"),
+    ("Box::new(", "`Box::new` heap-allocates"),
+    ("String::new(", "`String::new` allocates on first push"),
+    ("String::from(", "`String::from` heap-allocates"),
+    (".to_string(", "`.to_string()` allocates a `String`"),
+    ("Tensor::zeros(", "`Tensor::zeros` heap-allocates a buffer; use the scratch arena"),
+    ("Tensor::full(", "`Tensor::full` heap-allocates a buffer; use the scratch arena"),
+];

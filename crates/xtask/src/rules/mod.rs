@@ -30,17 +30,38 @@
 //!   be read through an aggregating `snapshot()`/`merge()` path, never as
 //!   `pub` atomic fields or torn multi-counter getters.
 //!
+//! Reachability and whole-workspace rules (the [`crate::callgraph`]
+//! engine, plus [`determinism`] and [`errors`]):
+//!
+//! - **L9 `hot-path-alloc`** — no heap allocation (the
+//!   [`calls::ALLOC_CALLS`] table) reachable from a `// hot-path-root`
+//!   without an `// alloc-ok: <reason>` annotation.
+//! - **L10 `panic-reach`** — no panic site reachable from a serve-side
+//!   root (`// hot-path-root(serve)`), plus non-literal slice indexing
+//!   inside reachable `crates/serve/` code.
+//! - **L11 `float-determinism`** — NaN-unsound comparators
+//!   (`partial_cmp().unwrap()`, float `sort_by`) and numeric accumulation
+//!   over hash-iteration order.
+//! - **L12 `error-coverage`** — every `TgError` variant must be both
+//!   constructed and matched somewhere in the workspace.
+//!
 //! Every lint honors a same-line `// lint: allow(<name>[, reason])`
 //! escape hatch and skips `#[cfg(test)]` items; L6's Relaxed findings use
 //! the dedicated `// relaxed-ok: <reason>` form so the justification
-//! reads as a memory-ordering invariant, not a lint toggle.
+//! reads as a memory-ordering invariant, not a lint toggle. L9's
+//! `// alloc-ok:` and the call-graph's `// cold-path:` / `// hot-path-root`
+//! markers are documented in [`crate::callgraph`].
 
 pub mod atomics;
 pub mod basic;
+pub mod calls;
 pub mod concurrency;
 pub mod counters;
+pub mod determinism;
+pub mod errors;
 
 pub use concurrency::{check_lock_graph, extract_lock_edges, LockEdge};
+pub use errors::lint_error_coverage;
 
 use crate::manifest::ConcurrencyManifest;
 use crate::source::SourceFile;
@@ -56,6 +77,14 @@ pub enum Lint {
     Atomics,
     LockAcross,
     UnguardedCounter,
+    /// L9 — allocation reachable from a `// hot-path-root` (call-graph).
+    HotPathAlloc,
+    /// L10 — panic site reachable from a serve root (call-graph).
+    PanicReach,
+    /// L11 — NaN/order-sensitive float patterns.
+    FloatDeterminism,
+    /// L12 — `TgError` variants never constructed or never matched.
+    ErrorCoverage,
 }
 
 impl Lint {
@@ -70,6 +99,10 @@ impl Lint {
             Lint::Atomics => "atomics",
             Lint::LockAcross => "lock-across",
             Lint::UnguardedCounter => "unguarded-counter",
+            Lint::HotPathAlloc => "hot-path-alloc",
+            Lint::PanicReach => "panic-reach",
+            Lint::FloatDeterminism => "float-determinism",
+            Lint::ErrorCoverage => "error-coverage",
         }
     }
 }
@@ -101,6 +134,19 @@ pub struct Scope {
     pub lock_across: bool,
     /// L8.
     pub counters: bool,
+    /// L9. In a whole-workspace run the walker disables this per-file flag
+    /// and checks one graph spanning every crate instead (hot paths cross
+    /// crate boundaries); single-file runs (fixtures) build the file's own
+    /// graph from its `// hot-path-root` annotations.
+    pub hot_path_alloc: bool,
+    /// L10. Same per-file/workspace split as L9.
+    pub panic_reach: bool,
+    /// L11.
+    pub float_determinism: bool,
+    /// L12. In a whole-workspace run the walker checks construction and
+    /// matching across every file at once; a single-file run covers
+    /// fixtures that define their own `TgError`.
+    pub error_coverage: bool,
 }
 
 impl Scope {
@@ -114,6 +160,10 @@ impl Scope {
             atomics: true,
             lock_across: true,
             counters: true,
+            hot_path_alloc: true,
+            panic_reach: true,
+            float_determinism: true,
+            error_coverage: true,
         }
     }
 
@@ -162,6 +212,23 @@ pub fn lint_source_with(
     }
     if scope.counters {
         counters::lint_unguarded_counter(src, &mut out);
+    }
+    if scope.float_determinism {
+        determinism::lint_float_determinism(src, &mut out);
+    }
+    if scope.hot_path_alloc || scope.panic_reach {
+        // Single-file reachability (fixtures): the file's own
+        // `// hot-path-root` annotations seed a graph over just this file.
+        let graph = crate::callgraph::CallGraph::build(std::slice::from_ref(src));
+        if scope.hot_path_alloc {
+            out.extend(graph.lint_hot_path_alloc());
+        }
+        if scope.panic_reach {
+            out.extend(graph.lint_panic_reach());
+        }
+    }
+    if scope.error_coverage {
+        out.extend(errors::lint_error_coverage(&[src]));
     }
     out
 }

@@ -24,24 +24,10 @@ use crate::source::SourceFile;
 /// A lock-guard constructor call.
 const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
 
-/// Calls that must not run under a lock guard (L7): inference and matmul
-/// hot-path entry points, blocking channel/thread operations, and file
-/// I/O. Condvar waits are deliberately absent — waiting *requires* the
-/// guard.
-pub const EXPENSIVE_CALLS: &[&str] = &[
-    "embed_batch(",
-    "matmul(",
-    ".recv()",
-    ".recv_timeout(",
-    ".join()",
-    "thread::sleep",
-    "std::fs::",
-    "File::open",
-    "File::create",
-    "read_to_string(",
-    "write_all(",
-    ".await",
-];
+// The L7 expensive-call table lives in `rules/calls.rs` with the other
+// shared call classifications; re-exported here because this is where it
+// historically lived and external callers use the `scopes::` path.
+pub use crate::rules::calls::EXPENSIVE_CALLS;
 
 /// One event observed during the walk of a function body, in source order.
 #[derive(Clone, Debug, PartialEq, Eq)]

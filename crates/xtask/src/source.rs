@@ -19,6 +19,40 @@ pub struct Allow {
     pub reason: Option<String>,
 }
 
+/// Which reachability closures a `// hot-path-root` annotation seeds (the
+/// L9/L10 call-graph roots — see [`crate::callgraph`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootKind {
+    /// `// hot-path-root` — seeds both the zero-alloc (L9) and the
+    /// panic-free (L10) closures.
+    Both,
+    /// `// hot-path-root(alloc)` — L9 only.
+    Alloc,
+    /// `// hot-path-root(serve)` — L10 only.
+    Serve,
+}
+
+impl RootKind {
+    /// True if this root seeds the L9 (zero-alloc) closure.
+    pub fn seeds_alloc(self) -> bool {
+        matches!(self, RootKind::Both | RootKind::Alloc)
+    }
+
+    /// True if this root seeds the L10 (panic-free serve) closure.
+    pub fn seeds_serve(self) -> bool {
+        matches!(self, RootKind::Both | RootKind::Serve)
+    }
+}
+
+/// One `// hot-path-root[(alloc|serve)]` annotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotRoot {
+    /// 1-based line the annotation sits on. It marks the `fn` declared on
+    /// the same line or on the line directly below.
+    pub line: usize,
+    pub kind: RootKind,
+}
+
 /// A parsed source file ready for linting.
 pub struct SourceFile {
     /// Repo-relative path label used in findings.
@@ -34,6 +68,17 @@ pub struct SourceFile {
     /// 1-based lines carrying a `// relaxed-ok: <reason>` annotation with a
     /// non-empty reason (the L6 escape hatch for justified `Relaxed` use).
     pub relaxed_ok: Vec<usize>,
+    /// 1-based lines carrying an `// alloc-ok: <reason>` annotation with a
+    /// non-empty reason (the L9 escape hatch for justified hot-path
+    /// allocation; on a `fn` declaration line it covers the whole body).
+    pub alloc_ok: Vec<usize>,
+    /// 1-based lines carrying a `// cold-path: <reason>` annotation with a
+    /// non-empty reason. The `fn` declared on the same line or directly
+    /// below is pruned from the reachability closures (setup/teardown code
+    /// that a hot root calls once per lifetime, not per batch).
+    pub cold_paths: Vec<usize>,
+    /// `// hot-path-root[(alloc|serve)]` annotations, in file order.
+    pub hot_roots: Vec<HotRoot>,
     /// Byte offset of the start of each line.
     line_starts: Vec<usize>,
     /// `in_test[i]` is true if 1-based line `i + 1` lies inside a
@@ -48,9 +93,23 @@ impl SourceFile {
         let (code, comments) = blank_non_code(&raw);
         let line_starts = line_starts(&raw);
         let allows = parse_allows(&comments, &line_starts);
-        let relaxed_ok = parse_relaxed_ok(&comments, &line_starts);
+        let relaxed_ok = parse_reasoned(&comments, &line_starts, "relaxed-ok:");
+        let alloc_ok = parse_reasoned(&comments, &line_starts, "alloc-ok:");
+        let cold_paths = parse_reasoned(&comments, &line_starts, "cold-path:");
+        let hot_roots = parse_hot_roots(&comments, &line_starts);
         let in_test = test_line_mask(&code, &line_starts);
-        Self { path, raw, code, allows, relaxed_ok, line_starts, in_test }
+        Self {
+            path,
+            raw,
+            code,
+            allows,
+            relaxed_ok,
+            alloc_ok,
+            cold_paths,
+            hot_roots,
+            line_starts,
+            in_test,
+        }
     }
 
     /// 1-based line containing byte `offset`.
@@ -75,6 +134,33 @@ impl SourceFile {
     /// reason is mandatory — a bare `relaxed-ok:` does not count.
     pub fn has_relaxed_ok(&self, line: usize) -> bool {
         self.relaxed_ok.contains(&line)
+    }
+
+    /// True if `line` carries an `// alloc-ok: <reason>` annotation. The
+    /// reason is mandatory — a bare `alloc-ok:` does not count.
+    pub fn has_alloc_ok(&self, line: usize) -> bool {
+        self.alloc_ok.contains(&line)
+    }
+
+    /// True if `line` carries a `// cold-path: <reason>` annotation (reason
+    /// mandatory).
+    pub fn has_cold_path(&self, line: usize) -> bool {
+        self.cold_paths.contains(&line)
+    }
+
+    /// The root annotation covering a `fn` declared on 1-based `fn_line`:
+    /// a trailing annotation on the declaration line itself, or a
+    /// whole-line comment directly above (one whose code-view line is
+    /// blank — a trailing annotation on the *previous* statement's line
+    /// must not leak downward).
+    pub fn root_kind_for(&self, fn_line: usize) -> Option<RootKind> {
+        self.hot_roots
+            .iter()
+            .find(|r| {
+                r.line == fn_line
+                    || (r.line + 1 == fn_line && self.code_line(r.line).trim().is_empty())
+            })
+            .map(|r| r.kind)
     }
 
     /// The code-view text of 1-based `line` (comments/strings blanked).
@@ -279,26 +365,65 @@ fn parse_allows(comments: &str, line_starts: &[usize]) -> Vec<Allow> {
     out
 }
 
-/// Extracts `relaxed-ok: <reason>` annotations (L6's escape hatch) from
-/// comment text. Only annotations with a non-empty reason are recorded.
-fn parse_relaxed_ok(comments: &str, line_starts: &[usize]) -> Vec<usize> {
-    const MARKER: &str = "relaxed-ok:";
+/// Extracts `<marker> <reason>` annotations (`relaxed-ok:`, `alloc-ok:`,
+/// `cold-path:`) from comment text. Only annotations with a non-empty
+/// reason are recorded — the justification is the point of the escape
+/// hatch, so a bare marker does not suppress anything.
+fn parse_reasoned(comments: &str, line_starts: &[usize], marker: &str) -> Vec<usize> {
     let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = comments[from..].find(marker) {
+        let at = from + pos;
+        let line = match line_starts.binary_search(&at) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        // The comments buffer holds no newlines (they stay blanked), so the
+        // reason must be cut at the annotation's own line end — otherwise a
+        // bare marker would borrow the next comment in the file as its
+        // "reason".
+        let end = line_starts.get(line).map_or(comments.len(), |&n| n - 1);
+        let reason = comments[at + marker.len()..end].trim();
+        if !reason.is_empty() && !out.contains(&line) {
+            out.push(line);
+        }
+        from = at + marker.len();
+    }
+    out
+}
+
+/// Extracts `hot-path-root[(alloc|serve)]` annotations from comment text.
+/// An unknown parenthesized kind is ignored entirely (a typo must not
+/// silently seed the wrong closure — the root simply doesn't register and
+/// the fixture/tree tests catch the missing root).
+fn parse_hot_roots(comments: &str, line_starts: &[usize]) -> Vec<HotRoot> {
+    const MARKER: &str = "hot-path-root";
+    let mut out: Vec<HotRoot> = Vec::new();
     let mut from = 0;
     while let Some(pos) = comments[from..].find(MARKER) {
         let at = from + pos;
-        let rest = &comments[at + MARKER.len()..];
-        let reason = rest.lines().next().unwrap_or("").trim();
-        if !reason.is_empty() {
-            let line = match line_starts.binary_search(&at) {
-                Ok(i) => i + 1,
-                Err(i) => i,
-            };
-            if !out.contains(&line) {
-                out.push(line);
-            }
-        }
         from = at + MARKER.len();
+        let line = match line_starts.binary_search(&at) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        // Bound the kind suffix to the annotation's own line (the comments
+        // buffer holds no newlines).
+        let end = line_starts.get(line).map_or(comments.len(), |&n| n - 1);
+        let rest = &comments[at + MARKER.len()..end];
+        let kind = if let Some(tail) = rest.strip_prefix('(') {
+            match tail.split(')').next().map(str::trim) {
+                Some("alloc") => Some(RootKind::Alloc),
+                Some("serve") => Some(RootKind::Serve),
+                _ => None,
+            }
+        } else {
+            Some(RootKind::Both)
+        };
+        let Some(kind) = kind else { continue };
+        if !out.iter().any(|r| r.line == line) {
+            out.push(HotRoot { line, kind });
+        }
     }
     out
 }
@@ -396,6 +521,36 @@ mod tests {
         let f = SourceFile::parse("t.rs", src);
         assert!(f.has_relaxed_ok(1));
         assert!(!f.has_relaxed_ok(2));
+    }
+
+    #[test]
+    fn alloc_ok_and_cold_path_require_reasons() {
+        let src = "let v = Vec::new(); // alloc-ok: grows once at startup\n\
+                   let w = Vec::new(); // alloc-ok:\n\
+                   // cold-path: runs once per worker lifetime\nfn exit_path() {}\n\
+                   // cold-path:\nfn not_cold() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.has_alloc_ok(1));
+        assert!(!f.has_alloc_ok(2), "a reason is mandatory");
+        assert!(f.has_cold_path(3));
+        assert!(!f.has_cold_path(5), "a reason is mandatory");
+    }
+
+    #[test]
+    fn hot_root_annotations_parse_kinds() {
+        let src = "fn a() {} // hot-path-root\n\
+                   // hot-path-root(alloc)\nfn b() {}\n\
+                   fn c() {} // hot-path-root(serve)\n\
+                   fn d() {} // hot-path-root(typo)\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.root_kind_for(1), Some(RootKind::Both));
+        assert_eq!(f.root_kind_for(3), Some(RootKind::Alloc), "line-above form");
+        assert_eq!(f.root_kind_for(4), Some(RootKind::Serve));
+        assert_eq!(f.root_kind_for(5), None, "unknown kind must not register");
+        assert!(f.root_kind_for(1).unwrap().seeds_alloc());
+        assert!(f.root_kind_for(1).unwrap().seeds_serve());
+        assert!(!f.root_kind_for(3).unwrap().seeds_serve());
+        assert!(!f.root_kind_for(4).unwrap().seeds_alloc());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use tgopt_repro::tgat::{BaselineEngine, TgatConfig, TgatParams};
 use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = datasets::spec_by_name("snap-msg").expect("known dataset");
+    let spec = datasets::spec_by_name("snap-msg").ok_or("dataset snap-msg missing from catalog")?;
     let data = datasets::generate(&spec, 0.2, 3)?;
     let cfg = TgatConfig {
         dim: 24,

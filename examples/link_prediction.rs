@@ -18,7 +18,7 @@ use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small slice of the synthetic MOOC graph: students acting on a small
     // set of course items — structured enough to learn from quickly.
-    let spec = datasets::spec_by_name("jodie-mooc").expect("known dataset");
+    let spec = datasets::spec_by_name("jodie-mooc").ok_or("dataset jodie-mooc missing from catalog")?;
     let data = datasets::generate(&spec, 0.004, 1)?;
     println!("training on {} interactions / {} nodes", data.stream.len(), data.stream.num_nodes());
 
@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Persist and reload the trained model, as a deployment would.
     let path = std::env::temp_dir().join("tgat-mooc.json");
-    params.save(&path).expect("save checkpoint");
-    let params = TgatParams::load(&path).expect("load checkpoint");
+    params.save(&path)?;
+    let params = TgatParams::load(&path)?;
     println!("checkpoint round-tripped through {}", path.display());
 
     // Serve: score candidate links at the end of the stream with TGOpt.
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let t_query = data.stream.max_time() + 1.0;
-    let last = data.stream.edges().last().expect("nonempty stream");
+    let last = data.stream.edges().last().ok_or("empty interaction stream")?;
     let (user, item) = (last.src, last.dst);
     // Candidate items: the true last partner plus a few other items (item
     // ids follow user ids in the bipartite encoding).
@@ -72,8 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|e| e.dst)
         .min()
-        .expect("nonempty stream");
-    let n_items = data.stream.num_nodes() as u32 - first_item;
+        .ok_or("empty interaction stream")?;
+    let n_items = data.stream.num_nodes() as u32 - first_item; // lint: allow(lossy-cast, node counts are u32-sized by construction of the bipartite encoding)
     let candidates: Vec<u32> = (0..5)
         .map(|k| if k == 0 { item } else { first_item + (item - first_item + k * 7) % n_items })
         .collect();

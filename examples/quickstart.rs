@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Get a dynamic graph. Here: a synthetic stand-in for the Wikipedia
     //    edit stream (see `tg_datasets` for the full catalog, or
     //    `datasets::load_csv` for your own data).
-    let spec = datasets::spec_by_name("jodie-wiki").expect("known dataset");
+    let spec = datasets::spec_by_name("jodie-wiki").ok_or("dataset jodie-wiki missing from catalog")?;
     let data = datasets::generate(&spec, 0.02, 42)?;
     println!(
         "dataset: {} — {} interactions among {} nodes, {}-dim edge features",

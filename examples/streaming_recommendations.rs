@@ -19,10 +19,10 @@ use tgopt_repro::tgat::{predictor, TgatConfig, TgatParams};
 use tgopt_repro::tgopt::{OptConfig, TgoptEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = datasets::spec_by_name("jodie-lastfm").expect("known dataset");
+    let spec = datasets::spec_by_name("jodie-lastfm").ok_or("dataset jodie-lastfm missing from catalog")?;
     let data = datasets::generate(&spec, 0.01, 5)?;
     let GraphKind::Bipartite { users, items } = spec.kind else {
-        unreachable!("jodie datasets are bipartite")
+        return Err("jodie-lastfm should be bipartite".into());
     };
     println!(
         "stream: {} listens, {users} users x {items} artists\n",
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in data.stream.edges() {
         counts[e.dst as usize] += 1;
     }
-    let mut popular: Vec<u32> = (users as u32..(users + items) as u32).collect();
+    let mut popular: Vec<u32> = (users as u32..(users + items) as u32).collect(); // lint: allow(lossy-cast, user/item counts are u32-sized node ids)
     popular.sort_by_key(|&i| std::cmp::Reverse(counts[i as usize]));
     popular.truncate(8);
 
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Recommend for the most recently active user.
-    let last = data.stream.edges().last().expect("nonempty");
+    let last = data.stream.edges().last().ok_or("empty interaction stream")?;
     let t = data.stream.max_time() + 1.0;
     let mut ns = vec![last.src];
     ns.extend_from_slice(&popular);

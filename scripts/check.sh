@@ -7,10 +7,12 @@
 #   1. cargo build --release        — the workspace compiles with optimizations
 #   2. cargo test -q --workspace    — every crate's unit + integration tests
 #   3. cargo run -p tg-xtask -- lint — the repo's static-analysis suite
-#      (L1 panic, L2 lossy-cast, L3 std-hash, L4 missing-invariants, plus
-#      the concurrency rules L5 lock-order, L6 atomics, L7 lock-across,
-#      L8 unguarded-counter; see DESIGN.md "Error handling & lint policy"
-#      and "Concurrency model")
+#      (L1 panic, L2 lossy-cast, L3 std-hash, L4 missing-invariants; the
+#      concurrency rules L5 lock-order, L6 atomics, L7 lock-across,
+#      L8 unguarded-counter; and the call-graph reachability rules
+#      L9 hot-path-alloc, L10 panic-reach, L11 float-determinism,
+#      L12 error-coverage; see DESIGN.md "Error handling & lint policy",
+#      "Concurrency model", and "Call-graph reachability (L9-L12)")
 #
 # The lint also runs inside `cargo test` via tests/lint_gate.rs, so step 3
 # is technically redundant — but running it standalone gives file:line

@@ -32,19 +32,36 @@ fn workspace_is_lint_clean() {
 /// starts over-matching) fails `cargo test` at the workspace level too.
 #[test]
 fn concurrency_fixture_pairs_hold() {
-    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/xtask/fixtures");
-    let cases: [(&str, Scope); 4] = [
+    check_fixture_pairs(&[
         ("l5", Scope { lock_order: true, ..Scope::default() }),
         ("l6", Scope { atomics: true, ..Scope::default() }),
         ("l7", Scope { lock_across: true, ..Scope::default() }),
         ("l8", Scope { counters: true, ..Scope::default() }),
-    ];
+    ]);
+}
+
+/// Same gate for the call-graph reachability lints (L9 hot-path-alloc,
+/// L10 panic-reach, L11 float-determinism, L12 error-coverage): each fail
+/// fixture must fire through the single-file reachability analysis, each
+/// pass fixture must stay clean under the same scope.
+#[test]
+fn reachability_fixture_pairs_hold() {
+    check_fixture_pairs(&[
+        ("l9", Scope { hot_path_alloc: true, ..Scope::default() }),
+        ("l10", Scope { panic_reach: true, ..Scope::default() }),
+        ("l11", Scope { float_determinism: true, ..Scope::default() }),
+        ("l12", Scope { error_coverage: true, ..Scope::default() }),
+    ]);
+}
+
+fn check_fixture_pairs(cases: &[(&str, Scope)]) {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/xtask/fixtures");
     for (lint, scope) in cases {
         for (suffix, must_fire) in [("fail", true), ("pass", false)] {
             let name = format!("{lint}_{suffix}.rs");
             let text = std::fs::read_to_string(fixtures.join(&name))
                 .unwrap_or_else(|e| panic!("missing fixture {name}: {e}"));
-            let findings = lint_source(&SourceFile::parse(name.clone(), text), scope);
+            let findings = lint_source(&SourceFile::parse(name.clone(), text), *scope);
             if must_fire {
                 assert!(!findings.is_empty(), "{name} must produce findings");
             } else {
