@@ -14,7 +14,7 @@ use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use tg_error::TgError;
-use tg_graph::NodeId;
+use tg_graph::{NodeId, Time};
 use tg_tensor::Tensor;
 
 const NUM_SHARDS: usize = 16;
@@ -45,6 +45,16 @@ pub struct EmbedCache {
     hits: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
+    /// Fresh keys actually inserted (a subset of `stores`, which counts
+    /// attempted rows). Every inserted entry leaves the cache through
+    /// exactly one of eviction, invalidation, or residency, giving the
+    /// accounting identity `inserted == evictions + invalidated + len()`
+    /// at quiescence (asserted by `tests/streaming_stress.rs`).
+    inserted: AtomicU64,
+    /// Entries removed by `invalidate_node`, the targeted
+    /// `invalidate_node_entries_if` / `invalidate_time_after` sweeps, or
+    /// `clear`.
+    invalidated: AtomicU64,
 }
 
 #[inline]
@@ -71,6 +81,8 @@ impl EmbedCache {
             hits: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -212,6 +224,7 @@ impl EmbedCache {
         if fresh.is_empty() {
             return;
         }
+        self.inserted.fetch_add(fresh.len() as u64, Ordering::Relaxed);
         self.count.fetch_add(fresh.len(), Ordering::Relaxed);
         {
             let mut fifo = self.fifo.lock();
@@ -279,18 +292,93 @@ impl EmbedCache {
     ///   eviction skips them without counting them as live removals.
     /// - `len()` decreases by exactly the returned count.
     pub fn invalidate_node(&self, node: NodeId) -> usize {
+        let (removed, _) = self.invalidate_node_entries_if(node, |_| true);
+        removed
+    }
+
+    /// Targeted invalidation: drops only the entries of `node` whose
+    /// cached time `t` satisfies `stale(t)` — the streaming-ingest
+    /// replacement for the [`EmbedCache::invalidate_node`] sledgehammer
+    /// (an appended edge at `te` can only enter the most-recent-`k`
+    /// sample of entries with `t > te` whose window it reaches; see
+    /// DESIGN.md "Streaming ingest"). Returns `(removed, retained)` where
+    /// `retained` counts `node`'s entries that survived the sweep.
+    ///
+    /// # Invariants
+    ///
+    /// - After return, no live key of `node` has a time passing `stale`
+    ///   (entries stored concurrently are the *caller's* obligation — the
+    ///   serve layer replays pending sweeps after each worker wave).
+    /// - Entries of other nodes, and `node`'s non-stale entries, are
+    ///   untouched and uncounted except in `retained`.
+    /// - `len()` decreases by exactly `removed`; FIFO slots of removed
+    ///   keys go stale and are skipped by eviction without freeing
+    ///   capacity twice.
+    pub fn invalidate_node_entries_if(
+        &self,
+        node: NodeId,
+        mut stale: impl FnMut(Time) -> bool,
+    ) -> (usize, usize) {
         let mut removed = 0usize;
+        let mut retained = 0usize;
         for shard in &self.shards {
             let mut shard = shard.write();
-            let before = shard.len();
-            shard.retain(|&key, _| unpack_key(key).0 != node);
-            removed += before - shard.len();
+            shard.retain(|&key, _| {
+                let (n, t) = unpack_key(key);
+                if n != node {
+                    return true;
+                }
+                if stale(t) {
+                    removed += 1;
+                    false
+                } else {
+                    retained += 1;
+                    true
+                }
+            });
         }
+        self.finish_invalidate(removed);
+        (removed, retained)
+    }
+
+    /// Conservative whole-cache sweep: drops every entry whose cached
+    /// time is strictly after `te`, regardless of node. Used for cached
+    /// layers `>= 2`, where an appended edge can reach an entry through
+    /// multi-hop recursion and the precise per-node window rule no longer
+    /// applies. Returns `(removed, retained)` over all entries.
+    ///
+    /// # Invariants
+    ///
+    /// - After return, every live entry has time `<= te` (modulo
+    ///   concurrent stores, handled by the caller's replay protocol).
+    /// - `len()` decreases by exactly `removed`; stale FIFO slots are
+    ///   skipped lazily by eviction.
+    pub fn invalidate_time_after(&self, te: Time) -> (usize, usize) {
+        let mut removed = 0usize;
+        let mut retained = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|&key, _| {
+                let (_, t) = unpack_key(key);
+                if t > te {
+                    removed += 1;
+                    false
+                } else {
+                    retained += 1;
+                    true
+                }
+            });
+        }
+        self.finish_invalidate(removed);
+        (removed, retained)
+    }
+
+    fn finish_invalidate(&self, removed: usize) {
         if removed > 0 {
             self.count.fetch_sub(removed, Ordering::Relaxed);
+            self.invalidated.fetch_add(removed as u64, Ordering::Relaxed);
         }
         // Stale FIFO entries are skipped lazily during eviction.
-        removed
     }
 
     /// Removes everything.
@@ -299,13 +387,21 @@ impl EmbedCache {
     ///
     /// - All shards, the FIFO queue, and the live count reset together, so
     ///   `len() == 0` and `bytes_used() == 0` on return.
-    /// - Lifetime counters (lookups/hits/stores/evictions) are preserved.
+    /// - Lifetime counters (lookups/hits/stores/evictions) are preserved;
+    ///   the dropped entries count as invalidated, keeping the
+    ///   `inserted == evictions + invalidated + len()` identity intact.
     pub fn clear(&self) {
+        let mut removed = 0usize;
         for shard in &self.shards {
-            shard.write().clear();
+            let mut shard = shard.write();
+            removed += shard.len();
+            shard.clear();
         }
         self.fifo.lock().clear();
         self.count.store(0, Ordering::Relaxed);
+        if removed > 0 {
+            self.invalidated.fetch_add(removed as u64, Ordering::Relaxed);
+        }
     }
 
     /// Current number of cached embeddings.
@@ -351,6 +447,17 @@ impl EmbedCache {
     /// Total evicted entries.
     pub fn total_evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total fresh keys actually inserted (distinct from
+    /// [`EmbedCache::total_stores`], which counts attempted rows).
+    pub fn total_inserted(&self) -> u64 {
+        self.inserted.load(Ordering::Relaxed)
+    }
+
+    /// Total entries removed by invalidation sweeps (including `clear`).
+    pub fn total_invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
     }
 
     /// Lifetime hit rate.
@@ -448,6 +555,16 @@ impl LayerCaches {
     /// Total evictions across layers.
     pub fn total_evictions(&self) -> u64 {
         self.iter().map(|c| c.total_evictions()).sum()
+    }
+
+    /// Total fresh insertions across layers.
+    pub fn total_inserted(&self) -> u64 {
+        self.iter().map(|c| c.total_inserted()).sum()
+    }
+
+    /// Total invalidated entries across layers.
+    pub fn total_invalidated(&self) -> u64 {
+        self.iter().map(|c| c.total_invalidated()).sum()
     }
 
     /// Summed item limits across layers.
@@ -640,6 +757,54 @@ mod tests {
             false,
         ).unwrap();
         assert_eq!(mask, vec![false, false, true]);
+    }
+
+    #[test]
+    fn targeted_invalidation_removes_only_matching_times() {
+        let cache = EmbedCache::new(10, 1);
+        let keys = [pack_key(1, 1.0), pack_key(1, 5.0), pack_key(1, 9.0), pack_key(2, 9.0)];
+        cache.store(&keys, &Tensor::zeros(4, 1), false).unwrap();
+        // Stale: node 1 entries with t > 4.0. Node 2 is untouched even
+        // though its time matches.
+        let (removed, retained) = cache.invalidate_node_entries_if(1, |t| t > 4.0);
+        assert_eq!((removed, retained), (2, 1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(keys[0]) && cache.contains(keys[3]));
+        assert!(!cache.contains(keys[1]) && !cache.contains(keys[2]));
+        assert_eq!(cache.total_invalidated(), 2);
+    }
+
+    #[test]
+    fn time_sweep_removes_entries_after_cutoff_for_all_nodes() {
+        let cache = EmbedCache::new(10, 1);
+        let keys = [pack_key(1, 1.0), pack_key(2, 5.0), pack_key(3, 9.0)];
+        cache.store(&keys, &Tensor::zeros(3, 1), false).unwrap();
+        let (removed, retained) = cache.invalidate_time_after(4.0);
+        assert_eq!((removed, retained), (2, 1));
+        assert!(cache.contains(keys[0]));
+        assert!(!cache.contains(keys[1]) && !cache.contains(keys[2]));
+    }
+
+    #[test]
+    fn accounting_identity_inserted_equals_evicted_plus_invalidated_plus_resident() {
+        let cache = EmbedCache::new(3, 1);
+        for i in 0..5u32 {
+            cache.store(&[pack_key(i, i as f32)], &Tensor::zeros(1, 1), false).unwrap();
+        }
+        cache.invalidate_node(3);
+        cache.invalidate_time_after(100.0); // removes everything left
+        cache.store(&[pack_key(9, 1.0)], &Tensor::zeros(1, 1), false).unwrap();
+        cache.clear(); // clear counts as invalidation
+        cache.store(&[pack_key(10, 1.0)], &Tensor::zeros(1, 1), false).unwrap();
+        assert_eq!(
+            cache.total_inserted(),
+            cache.total_evictions() + cache.total_invalidated() + cache.len() as u64,
+            "inserted {} != evicted {} + invalidated {} + resident {}",
+            cache.total_inserted(),
+            cache.total_evictions(),
+            cache.total_invalidated(),
+            cache.len()
+        );
     }
 
     #[test]

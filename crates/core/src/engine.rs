@@ -11,7 +11,7 @@ use crate::dedup::{dedup_filter, dedup_invert};
 use crate::hash::compute_keys;
 use crate::timecache::{HashTimeCache, TimeCache};
 use tg_error::TgError;
-use tg_graph::{NodeId, SamplingStrategy, TemporalSampler, Time};
+use tg_graph::{GraphView, NodeId, SamplingStrategy, TemporalSampler, Time};
 use tg_tensor::{ops, Scratch, Tensor};
 use tgat::attention::{self, AttentionInputs};
 use tgat::engine::GraphContext;
@@ -137,6 +137,11 @@ pub struct TgoptEngine<'a> {
     stats: OpStats,
     counters: EngineCounters,
     store_enabled: bool,
+    /// When pinned, neighborhood sampling reads this epoch-stamped live
+    /// snapshot instead of `ctx.graph` — the streaming-ingest read path.
+    /// Owned (not borrowed) because views are per-wave while the engine
+    /// lives for the worker's lifetime.
+    view: Option<GraphView>,
     /// Recycled per-batch buffers; owned by the engine (one per serve
     /// worker) so steady-state batches run allocation-free.
     scratch: Scratch,
@@ -175,6 +180,7 @@ impl<'a> TgoptEngine<'a> {
             stats: OpStats::disabled(),
             counters: EngineCounters::default(),
             store_enabled: true,
+            view: None,
             scratch: Scratch::new(),
         }
     }
@@ -307,6 +313,26 @@ impl<'a> TgoptEngine<'a> {
         self.store_enabled
     }
 
+    /// Pins an epoch-stamped live snapshot: until [`TgoptEngine::unpin_view`],
+    /// neighborhood sampling reads `view` instead of the frozen
+    /// `ctx.graph`. Memoization stays sound because a view only ever
+    /// *adds* interactions relative to older epochs, and the serve layer
+    /// invalidates the (few) entries a new edge can reach before queries
+    /// at later epochs are admitted (see DESIGN.md "Streaming ingest").
+    pub fn pin_view(&mut self, view: GraphView) {
+        self.view = Some(view);
+    }
+
+    /// Unpins the live snapshot; sampling reverts to `ctx.graph`.
+    pub fn unpin_view(&mut self) {
+        self.view = None;
+    }
+
+    /// The epoch of the pinned view, if one is pinned.
+    pub fn pinned_epoch(&self) -> Option<u64> {
+        self.view.as_ref().map(|v| v.epoch())
+    }
+
     /// Computes final-layer temporal embeddings for `(ns[i], ts[i])` targets.
     /// Drop-in equivalent of `BaselineEngine::embed_batch`, except that
     /// internal cache shape violations surface as [`TgError`] instead of
@@ -379,8 +405,11 @@ impl<'a> TgoptEngine<'a> {
             let m_ns: Vec<NodeId> = miss_idx.iter().map(|&i| uns[i]).collect(); // alloc-ok: miss-target ids; variable-size id lists are not poolable f32 scratch
             let m_ts: Vec<Time> = miss_idx.iter().map(|&i| uts[i]).collect(); // alloc-ok: miss-target times; same per-batch id bookkeeping as m_ns
 
-            let (graph, sampler) = (self.ctx.graph, &self.sampler);
-            let nb = self.stats.time(OpKind::NghLookup, || sampler.sample(graph, &m_ns, &m_ts));
+            let (graph, sampler, view) = (self.ctx.graph, &self.sampler, self.view.as_ref());
+            let nb = self.stats.time(OpKind::NghLookup, || match view {
+                Some(v) => sampler.sample_view(v, &m_ns, &m_ts),
+                None => sampler.sample(graph, &m_ns, &m_ts),
+            });
 
             let mut all_ns = m_ns.clone();
             all_ns.extend_from_slice(&nb.nodes);

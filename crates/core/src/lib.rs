@@ -40,5 +40,5 @@ pub use cache::{EmbedCache, LayerCaches};
 pub use config::{OptConfig, TimeCacheKind};
 pub use dedup::{dedup_filter, dedup_invert, DedupResult};
 pub use engine::{EngineCounters, TgoptEngine};
-pub use hash::pack_key;
+pub use hash::{pack_key, unpack_key};
 pub use timecache::{HashTimeCache, TimeCache};

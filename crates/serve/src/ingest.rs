@@ -1,0 +1,278 @@
+//! Streaming-ingest coordination: targeted cache invalidation plus the
+//! event-replay protocol that makes it safe under concurrent waves.
+//!
+//! When an edge is appended to the live graph, only cached layer-1
+//! entries whose most-recent-k neighbor window the new edge could enter
+//! are stale — everything older keeps sampling the same neighborhood and
+//! stays valid. [`entry_stale_after_insert`] encodes that predicate
+//! exactly; [`sweep_insert`] applies it to the shared cache. This
+//! replaces sledgehammer per-node invalidation with a sweep that retains
+//! provably-fresh entries (counted in telemetry as `entries_retained`).
+//!
+//! The sweep alone is not enough under concurrency: a worker that pinned
+//! a pre-insert [`GraphView`] may *store* entries computed from stale
+//! history after the submitter's sweep already scanned the cache.
+//! [`IngestSync`] closes that window: every appended edge leaves an
+//! [`IngestEvent`] in a log, each wave registers the epoch it pinned
+//! (under the same lock the submitter appends under), and after its
+//! stores complete the wave re-applies the sweep for every event at or
+//! past its pin. Because the store happens-before the replay (program
+//! order) and the event push happens-before the sweep (program order),
+//! the mutex forces one of two outcomes: the submitter's sweep sees the
+//! store, or the replay sees the event. Either way the stale entry dies.
+
+use std::collections::VecDeque;
+use tg_graph::{GraphView, NodeId, Time};
+use tgopt::LayerCaches;
+
+/// One appended edge, kept in the replay log until every wave that could
+/// have computed from pre-insert history has released its pin.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct IngestEvent {
+    /// Global sequence number of the edge (== its edge id).
+    pub seq: u64,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Interaction timestamp.
+    pub time: Time,
+}
+
+/// The replay log and the per-slot epoch pins, guarded by one mutex in
+/// the server's `Shared` state. Lock order: `ingest` is taken *before*
+/// the live graph's `gen` lock (workers nest `LiveGraph::view` inside
+/// their pin registration; submitters nest `LiveGraph::append`).
+#[derive(Debug)]
+pub(crate) struct IngestSync {
+    /// Appended edges not yet proven covered by every active pin.
+    events: VecDeque<IngestEvent>,
+    /// Per-slot pinned epoch; `u64::MAX` marks an idle slot. Worker `i`
+    /// owns slot `i`; the deterministic drain path owns the last slot.
+    pins: Vec<u64>,
+}
+
+impl IngestSync {
+    /// A sync block with `slots` pin slots, all idle.
+    pub fn new(slots: usize) -> Self {
+        Self { events: VecDeque::new(), pins: vec![u64::MAX; slots] }
+    }
+
+    /// Records one appended edge for post-wave replay.
+    ///
+    /// # Invariants
+    ///
+    /// - Must be called under the same `ingest` critical section as the
+    ///   `LiveGraph::append` that produced `seq`, so no wave can pin an
+    ///   epoch `<= seq` after the event is logged without seeing it.
+    /// - `seq` values are pushed in strictly increasing order (appends
+    ///   are serialized by the `ingest` lock), keeping the log sorted.
+    pub fn push_event(&mut self, ev: IngestEvent) {
+        debug_assert!(!self.events.back().is_some_and(|last| last.seq >= ev.seq));
+        self.events.push_back(ev);
+    }
+
+    /// Pins `slot` at `epoch`: edges with `seq >= epoch` must be replayed
+    /// by this slot before the pin is released.
+    ///
+    /// # Invariants
+    ///
+    /// - Must be called under the same `ingest` critical section as the
+    ///   `LiveGraph::view` whose epoch is being pinned — registering the
+    ///   pin after releasing the lock would let a concurrent submitter
+    ///   prune an event this slot still needs.
+    /// - `slot` was previously idle (`u64::MAX`): a slot processes one
+    ///   wave at a time.
+    pub fn register_pin(&mut self, slot: usize, epoch: u64) {
+        debug_assert_eq!(self.pins.get(slot).copied(), Some(u64::MAX));
+        if let Some(p) = self.pins.get_mut(slot) {
+            *p = epoch;
+        }
+    }
+
+    /// The events `slot` must replay: everything at or past its pinned
+    /// epoch. Empty when the slot is idle.
+    pub fn events_since_pin(&self, slot: usize) -> Vec<IngestEvent> {
+        let pin = self.pins.get(slot).copied().unwrap_or(u64::MAX);
+        let start = self.events.partition_point(|ev| ev.seq < pin);
+        self.events.iter().skip(start).copied().collect()
+    }
+
+    /// Releases `slot`'s pin and prunes events already covered by every
+    /// remaining pin (an event with `seq < min(active pins)` was visible
+    /// in every still-pinned view, so no replay will ever need it; with
+    /// no active pins the whole log drains).
+    ///
+    /// # Invariants
+    ///
+    /// - Called only after the slot's replay sweeps completed: releasing
+    ///   first would let the events be pruned before they were applied.
+    pub fn release_pin(&mut self, slot: usize) {
+        if let Some(p) = self.pins.get_mut(slot) {
+            *p = u64::MAX;
+        }
+        let min_pin = self.pins.iter().copied().min().unwrap_or(u64::MAX);
+        let covered = self.events.partition_point(|ev| ev.seq < min_pin);
+        self.events.drain(..covered);
+    }
+
+    /// Events currently held for replay (test/telemetry visibility).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Could a cached layer-1 entry `(x, t)` change after inserting an edge
+/// at time `te` incident to `x`, given the *post-insert* view and a
+/// sampler window of `k` most-recent neighbors?
+///
+/// The entry sampled the `k` most recent interactions of `x` strictly
+/// before `t`. The new edge enters that window iff it precedes `t` and
+/// either the history is still shorter than `k` (every interaction is in
+/// the window) or it lands at-or-after the window's oldest slot. With
+/// `cut` the post-insert history length before `t`, the oldest window
+/// slot is index `cut - k`; ties insert after equal timestamps (matching
+/// `TemporalGraph::insert`), so `te >= entries[cut - k].time` is exact.
+pub(crate) fn entry_stale_after_insert(
+    view: &GraphView,
+    k: usize,
+    x: NodeId,
+    te: Time,
+    t: Time,
+) -> bool {
+    if te >= t {
+        return false;
+    }
+    let cut = view.hist_len_before(x, t);
+    if cut <= k {
+        return true;
+    }
+    match view.nth_before(x, t, cut - k) {
+        Some(oldest_in_window) => te >= oldest_in_window.time,
+        // cut > k >= 0 guarantees the slot exists; stay conservative if not.
+        None => true,
+    }
+}
+
+/// Applies the targeted invalidation for one inserted edge against the
+/// shared cache: the exact window predicate on the layer-1 cache for
+/// both endpoints, and a conservative `t > te` sweep on any deeper
+/// cached layer (a deep entry aggregates multi-hop history, so the
+/// window predicate on the endpoint alone is not sound there). Returns
+/// `(removed, retained)` — `retained` counts only layer-1 endpoint
+/// entries proven fresh, the precision this sweep buys over
+/// per-node invalidation.
+///
+/// `view` must be a post-insert snapshot (epoch past the edge's seq);
+/// the predicate stays sound at any later epoch, so replays may reuse a
+/// single fresh view for a batch of events.
+pub(crate) fn sweep_insert(
+    cache: &LayerCaches,
+    view: &GraphView,
+    k: usize,
+    src: NodeId,
+    dst: NodeId,
+    te: Time,
+) -> (u64, u64) {
+    let mut removed = 0u64;
+    let mut retained = 0u64;
+    if let Some(c1) = cache.layer(1) {
+        let both = [src, dst];
+        let distinct = if src == dst { 1 } else { 2 };
+        for &x in both.iter().take(distinct) {
+            let (r, kept) =
+                c1.invalidate_node_entries_if(x, |t| entry_stale_after_insert(view, k, x, te, t));
+            removed += r as u64;
+            retained += kept as u64;
+        }
+    }
+    for l in 2..=cache.num_layers() {
+        if let Some(cl) = cache.layer(l) {
+            let (r, _) = cl.invalidate_time_after(te);
+            removed += r as u64;
+        }
+    }
+    (removed, retained)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_graph::{Edge, LiveGraph, TemporalGraph};
+
+    fn live_with(edges: &[(NodeId, NodeId, Time)]) -> LiveGraph {
+        let mut g = TemporalGraph::with_nodes(8);
+        for (i, &(s, d, t)) in edges.iter().enumerate() {
+            g.insert(&Edge { src: s, dst: d, time: t, eid: i as u32 });
+        }
+        LiveGraph::new(g)
+    }
+
+    #[test]
+    fn staleness_predicate_matches_window_membership() {
+        // Node 0 history: times 1, 3, 5, 7 (all with node 1).
+        let live = live_with(&[(0, 1, 1.0), (0, 1, 3.0), (0, 1, 5.0), (0, 1, 7.0)]);
+        // Insert te = 4 — post-insert history before t=8: [1, 3, 4, 5, 7].
+        live.append(&Edge { src: 0, dst: 2, time: 4.0, eid: 4 });
+        let v = live.view();
+        // k = 2 window before t=8 is [5, 7]: te=4 is older than slot 5 → fresh.
+        assert!(!entry_stale_after_insert(&v, 2, 0, 4.0, 8.0));
+        // k = 3 window is [4, 5, 7]: the new edge is in it → stale.
+        assert!(entry_stale_after_insert(&v, 3, 0, 4.0, 8.0));
+        // Entries at or before te never change (strictly-before sampling).
+        assert!(!entry_stale_after_insert(&v, 3, 0, 4.0, 4.0));
+        assert!(!entry_stale_after_insert(&v, 3, 0, 4.0, 3.5));
+        // Short history (node 2 has only the new edge): always stale.
+        assert!(entry_stale_after_insert(&v, 2, 2, 4.0, 8.0));
+    }
+
+    #[test]
+    fn tie_at_window_boundary_is_stale() {
+        let live = live_with(&[(0, 1, 1.0), (0, 1, 3.0)]);
+        // te equals the current most-recent time; ties insert after, so a
+        // k=1 window at t=4 now samples the new edge.
+        live.append(&Edge { src: 0, dst: 2, time: 3.0, eid: 2 });
+        let v = live.view();
+        assert!(entry_stale_after_insert(&v, 1, 0, 3.0, 4.0));
+        // But an older insert below the k=1 boundary stays fresh.
+        live.append(&Edge { src: 0, dst: 2, time: 2.0, eid: 3 });
+        let v = live.view();
+        assert!(!entry_stale_after_insert(&v, 1, 0, 2.0, 4.0));
+    }
+
+    #[test]
+    fn pins_hold_events_until_released() {
+        let mut sync = IngestSync::new(2);
+        sync.register_pin(0, 5);
+        sync.push_event(IngestEvent { seq: 5, src: 0, dst: 1, time: 1.0 });
+        sync.push_event(IngestEvent { seq: 6, src: 2, dst: 3, time: 2.0 });
+        // Slot 0 pinned at epoch 5 must replay both; idle slot 1 none.
+        assert_eq!(sync.events_since_pin(0).len(), 2);
+        assert!(sync.events_since_pin(1).is_empty());
+        // A later pin (epoch 7 > both seqs) replays nothing but also
+        // holds nothing: only pre-pin history matters.
+        sync.register_pin(1, 7);
+        assert!(sync.events_since_pin(1).is_empty());
+        sync.release_pin(1);
+        // Slot 0's pin still holds the log alive.
+        assert_eq!(sync.pending_events(), 2);
+        sync.release_pin(0);
+        assert_eq!(sync.pending_events(), 0);
+    }
+
+    #[test]
+    fn partial_prune_keeps_uncovered_suffix() {
+        let mut sync = IngestSync::new(2);
+        sync.register_pin(0, 3);
+        sync.register_pin(1, 9);
+        for seq in 3..12 {
+            sync.push_event(IngestEvent { seq, src: 0, dst: 1, time: seq as Time });
+        }
+        sync.release_pin(0);
+        // min active pin is 9: events 3..9 are covered, 9..12 survive.
+        assert_eq!(sync.pending_events(), 3);
+        assert_eq!(sync.events_since_pin(1).len(), 3);
+        sync.release_pin(1);
+        assert_eq!(sync.pending_events(), 0);
+    }
+}

@@ -31,6 +31,7 @@
 //! property tests can replay arbitrary interleavings.
 
 pub mod batch;
+mod ingest;
 pub mod queue;
 pub mod request;
 pub mod server;

@@ -12,6 +12,7 @@
 //!   decision is reproducible under test.
 
 use crate::batch::{coalesce, Pending};
+use crate::ingest::{sweep_insert, IngestEvent, IngestSync};
 use crate::queue::BoundedQueue;
 use crate::relock;
 use crate::request::{Request, Slot, Ticket};
@@ -20,10 +21,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tg_error::TgError;
-use tg_graph::{NodeId, TemporalGraph, Time};
+use tg_graph::{Edge, EdgeId, GraphView, IngestStats, LiveGraph, NodeId, TemporalGraph, Time};
 use tg_telemetry::{
-    EmbedCacheTelemetry, EngineTelemetry, LatencyHistogram, LatencyTelemetry, Recorder,
-    ServeTelemetry, TelemetrySnapshot, TimeCacheTelemetry,
+    EmbedCacheTelemetry, EngineTelemetry, IngestTelemetry, LatencyHistogram, LatencyTelemetry,
+    Recorder, ServeTelemetry, TelemetrySnapshot, TimeCacheTelemetry,
 };
 use tg_tensor::Tensor;
 use tgat::engine::GraphContext;
@@ -103,6 +104,13 @@ pub struct ServeConfig {
     /// Record per-stage (Table 3) spans in every worker engine. Off by
     /// default: the disabled recorder takes no timestamps on the hot path.
     pub record_spans: bool,
+    /// Accept [`TgServer::submit_edge`] while serving: the bundle's graph
+    /// is wrapped in a [`LiveGraph`] and every wave samples from an
+    /// epoch-stamped snapshot pinned at wave start.
+    pub live_ingest: bool,
+    /// Delta-log length that triggers compaction back into CSR
+    /// (live-ingest mode only; `usize::MAX` disables auto-compaction).
+    pub compact_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +123,8 @@ impl Default for ServeConfig {
             memory_budget_bytes: None,
             opt: OptConfig::all(),
             record_spans: false,
+            live_ingest: false,
+            compact_threshold: tg_graph::live::DEFAULT_COMPACT_THRESHOLD,
         }
     }
 }
@@ -162,6 +172,18 @@ impl ServeConfig {
         self
     }
 
+    /// Builder-style live-ingest toggle.
+    pub fn with_live_ingest(mut self, on: bool) -> Self {
+        self.live_ingest = on;
+        self
+    }
+
+    /// Builder-style compaction threshold (live-ingest mode).
+    pub fn with_compact_threshold(mut self, n: usize) -> Self {
+        self.compact_threshold = n;
+        self
+    }
+
     fn validate(&self) -> Result<(), TgError> {
         if self.max_batch == 0 {
             return Err(TgError::InvalidConfig("max_batch must be positive".into()));
@@ -194,6 +216,42 @@ struct Shared {
     /// Time-encoding cache `(hits, misses)` merged in from exited workers
     /// and deterministic drains.
     time_cache: Mutex<(u64, u64)>,
+    /// The mutable graph world when [`ServeConfig::live_ingest`] is set;
+    /// waves then sample from pinned snapshots instead of `bundle.graph`.
+    live: Option<LiveGraph>,
+    /// Replay log and per-slot epoch pins for the ingest/invalidation
+    /// protocol. Lock order: `ingest` before the live graph's `gen` —
+    /// pins register under the same critical section that takes the view,
+    /// and appends pair with their replay event the same way.
+    ingest: Mutex<IngestSync>,
+}
+
+/// Pins `slot` to a fresh snapshot of the live graph. The pin registers
+/// under the same `ingest` critical section that takes the view, so an
+/// edge invisible to this snapshot is guaranteed to still be (or later
+/// become) a replay event this slot will see.
+fn pin_live_view(shared: &Shared, live: &LiveGraph, slot: usize) -> GraphView {
+    let mut sync = relock(shared.ingest.lock());
+    let view = live.view();
+    sync.register_pin(slot, view.epoch());
+    view
+}
+
+/// Replays the targeted invalidation for every edge that raced this
+/// slot's wave (its stores may have captured pre-insert history after
+/// the submitter's sweep scanned the cache), then releases the pin. See
+/// `crate::ingest` for why sweep-or-replay always catches a stale store.
+fn finish_live_wave(shared: &Shared, live: &LiveGraph, slot: usize) {
+    let replay = relock(shared.ingest.lock()).events_since_pin(slot);
+    if !replay.is_empty() {
+        let view = live.view();
+        let k = shared.bundle.params.cfg.n_neighbors;
+        for ev in &replay {
+            let (removed, _) = sweep_insert(&shared.cache, &view, k, ev.src, ev.dst, ev.time);
+            shared.counters.record_invalidation_sweep(removed, 0);
+        }
+    }
+    relock(shared.ingest.lock()).release_pin(slot);
 }
 
 /// Runs one wave through `engine`: deadline filter → cross-request dedup →
@@ -285,6 +343,7 @@ fn worker_loop(
     shared: Arc<Shared>,
     rx: Arc<Mutex<mpsc::Receiver<Vec<Pending>>>>,
     wave_hist: Arc<LatencyHistogram>,
+    slot: usize,
 ) {
     let bundle = Arc::clone(&shared.bundle);
     // One engine per worker, reused across waves — which also means one
@@ -310,7 +369,13 @@ fn worker_loop(
             Ok(wave) => wave,
             Err(_) => break,
         };
+        if let Some(live) = shared.live.as_ref() {
+            engine.pin_view(pin_live_view(&shared, live, slot));
+        }
         process_wave(&mut engine, wave, &shared, &wave_hist);
+        if let Some(live) = shared.live.as_ref() {
+            finish_live_wave(&shared, live, slot);
+        }
     }
     merge_engine_telemetry(&shared, engine);
 }
@@ -334,6 +399,9 @@ impl TgServer {
             cfg.opt.cache_limit.max(1),
             dim,
         ));
+        let live = cfg.live_ingest.then(|| {
+            LiveGraph::new(bundle.graph.clone()).with_compact_threshold(cfg.compact_threshold)
+        });
         Ok(Arc::new(Shared {
             bundle,
             queue: BoundedQueue::new(cfg.queue_capacity),
@@ -343,6 +411,9 @@ impl TgServer {
             worker_latency: (0..cfg.workers).map(|_| Arc::new(LatencyHistogram::new())).collect(),
             stage_spans: Mutex::new(Recorder::disabled()),
             time_cache: Mutex::new((0, 0)),
+            live,
+            // One pin slot per worker plus the deterministic drain slot.
+            ingest: Mutex::new(IngestSync::new(cfg.workers + 1)),
             cfg,
         }))
     }
@@ -366,7 +437,7 @@ impl TgServer {
                 let wave_hist = Arc::clone(&shared.worker_latency[i]);
                 let shared = Arc::clone(&shared);
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(shared, rx, wave_hist))
+                std::thread::spawn(move || worker_loop(shared, rx, wave_hist, i))
             })
             .collect();
         let batcher_shared = Arc::clone(&shared);
@@ -426,6 +497,56 @@ impl TgServer {
         }
     }
 
+    /// Appends one edge to the live graph and drops exactly the cached
+    /// entries it could have invalidated, retaining everything provably
+    /// fresh. Requires a live-ingest server
+    /// ([`ServeConfig::with_live_ingest`]); returns the assigned edge id,
+    /// which is also the `edge_features` row the edge reads.
+    ///
+    /// Safe concurrently with serving traffic: in-flight waves keep
+    /// sampling their pinned snapshot (an edge is never half-visible),
+    /// and any wave whose stores raced this append replays the
+    /// invalidation after those stores land, so no stale cache entry
+    /// survives (see `crate::ingest` for the protocol).
+    // hot-path-root(serve)
+    pub fn submit_edge(&self, src: NodeId, dst: NodeId, time: Time) -> Result<EdgeId, TgError> {
+        let Some(live) = self.shared.live.as_ref() else {
+            return Err(TgError::InvalidArgument(
+                "submit_edge requires live ingest (ServeConfig::with_live_ingest)".into(),
+            ));
+        };
+        let bundle = &self.shared.bundle;
+        let n_nodes = bundle.node_features.rows();
+        if src as usize >= n_nodes || dst as usize >= n_nodes {
+            return Err(TgError::InvalidArgument(format!(
+                "edge ({src}, {dst}) out of range: {n_nodes} node-feature rows"
+            )));
+        }
+        let max_edges = bundle.edge_features.rows() as u64;
+        let (eid, view) = {
+            // One critical section serializes edge-id assignment and
+            // pairs the append with its replay event, so no wave can pin
+            // an epoch at-or-before this edge without later replaying it.
+            // The `ingest` lock is taken before the graph's own locks.
+            let mut sync = relock(self.shared.ingest.lock());
+            let next = live.num_edges_total();
+            if next >= max_edges {
+                return Err(TgError::InvalidArgument(format!(
+                    "edge-feature rows exhausted: {next} edges appended, {max_edges} rows"
+                )));
+            }
+            let eid = next as EdgeId;
+            let seq = live.append(&Edge { src, dst, time, eid });
+            sync.push_event(IngestEvent { seq, src, dst, time });
+            (eid, live.view())
+        };
+        let k = bundle.params.cfg.n_neighbors;
+        let (removed, retained) = sweep_insert(&self.shared.cache, &view, k, src, dst, time);
+        self.shared.counters.record_edge_ingested();
+        self.shared.counters.record_invalidation_sweep(removed, retained);
+        Ok(eid)
+    }
+
     /// Submits `ns[i], ts[i]` pairs in order; ticket `i` resolves to the
     /// embedding row of query `i` (per-request row order is preserved no
     /// matter how the batcher groups or dedups them).
@@ -467,12 +588,21 @@ impl TgServer {
         if self.shared.cfg.record_spans {
             engine.enable_stats();
         }
+        // The drain owns the pin slot past the worker range; one snapshot
+        // covers the whole drain so every wave in it sees the same graph.
+        let drain_slot = self.shared.cfg.workers;
+        if let Some(live) = self.shared.live.as_ref() {
+            engine.pin_view(pin_live_view(&self.shared, live, drain_slot));
+        }
         // Deterministic mode has no workers; its waves account to slot 0.
         let wave_hist = Arc::clone(&self.shared.worker_latency[0]);
         while !items.is_empty() {
             let tail = items.split_off(items.len().min(self.shared.cfg.max_batch));
             process_wave(&mut engine, items, &self.shared, &wave_hist);
             items = tail;
+        }
+        if let Some(live) = self.shared.live.as_ref() {
+            finish_live_wave(&self.shared, live, drain_slot);
         }
         let spans = engine.stats().clone();
         let (tc_hits, tc_misses) = engine.time_cache_stats();
@@ -543,6 +673,17 @@ impl TgServer {
                 unique_rows: serve.unique_rows,
                 degraded_batches: serve.degraded_batches,
             },
+            ingest: {
+                let graph = self.shared.live.as_ref().map(LiveGraph::ingest_stats);
+                let graph = graph.unwrap_or_default();
+                IngestTelemetry {
+                    edges_appended: graph.edges_appended,
+                    compactions: graph.compactions,
+                    delta_edges: graph.delta_edges,
+                    entries_invalidated: serve.entries_invalidated,
+                    entries_retained: serve.entries_retained,
+                }
+            },
             latency: LatencyTelemetry {
                 end_to_end: serve.latency,
                 workers: self.shared.worker_latency.iter().map(|h| h.snapshot()).collect(),
@@ -566,6 +707,38 @@ impl TgServer {
     /// Returns how many entries were removed.
     pub fn invalidate_node(&self, node: NodeId) -> usize {
         self.shared.cache.invalidate_node(node)
+    }
+
+    /// A consistent snapshot of the live graph, or `None` when live
+    /// ingest is disabled. The view pins its generation: holding it is
+    /// free for appenders and only delays reclaiming a compacted base.
+    pub fn live_view(&self) -> Option<GraphView> {
+        self.shared.live.as_ref().map(LiveGraph::view)
+    }
+
+    /// Live-graph ingest statistics, or `None` when live ingest is
+    /// disabled.
+    pub fn ingest_stats(&self) -> Option<IngestStats> {
+        self.shared.live.as_ref().map(LiveGraph::ingest_stats)
+    }
+
+    /// Forces a delta-to-CSR compaction now (live-ingest mode). Returns
+    /// whether a live graph existed to compact. Safe concurrently with
+    /// queries: existing views keep their generation alive.
+    pub fn compact_live(&self) -> bool {
+        match self.shared.live.as_ref() {
+            Some(live) => {
+                live.compact();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Edge-insert events currently held for post-wave replay (drops to
+    /// zero at quiescence; primarily for tests and debugging).
+    pub fn pending_ingest_events(&self) -> usize {
+        relock(self.shared.ingest.lock()).pending_events()
     }
 
     /// The active configuration.

@@ -22,6 +22,9 @@ pub struct ServeCounters {
     batched_requests: AtomicU64,
     unique_rows: AtomicU64,
     degraded_batches: AtomicU64,
+    edges_ingested: AtomicU64,
+    entries_invalidated: AtomicU64,
+    entries_retained: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -87,6 +90,31 @@ impl ServeCounters {
         }
     }
 
+    /// Records one edge accepted by `submit_edge` into the live graph.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone; never decremented.
+    /// - Bumped after the append is durable in the delta log, so
+    ///   `edges_ingested` never exceeds the live graph's own count.
+    pub fn record_edge_ingested(&self) {
+        self.edges_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of one targeted-invalidation sweep: `removed`
+    /// cached entries dropped as potentially stale, `retained` examined
+    /// and proven fresh.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone; both counters only grow.
+    /// - Replay sweeps report with `retained = 0` so the retention ratio
+    ///   reflects submit-time precision, not idempotent re-examination.
+    pub fn record_invalidation_sweep(&self, removed: u64, retained: u64) {
+        self.entries_invalidated.fetch_add(removed, Ordering::Relaxed);
+        self.entries_retained.fetch_add(retained, Ordering::Relaxed);
+    }
+
     /// Records one completed request's end-to-end (submit-to-fulfill)
     /// latency. Only successful completions are sampled, so the histogram
     /// describes the latency a satisfied client observed.
@@ -109,6 +137,9 @@ impl ServeCounters {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             unique_rows: self.unique_rows.load(Ordering::Relaxed),
             degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            edges_ingested: self.edges_ingested.load(Ordering::Relaxed),
+            entries_invalidated: self.entries_invalidated.load(Ordering::Relaxed),
+            entries_retained: self.entries_retained.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
         }
     }
@@ -139,6 +170,12 @@ pub struct ServeStats {
     pub unique_rows: u64,
     /// Micro-batches run in degraded (store-skipping) mode.
     pub degraded_batches: u64,
+    /// Edges accepted by `submit_edge` into the live graph.
+    pub edges_ingested: u64,
+    /// Cached entries dropped by targeted invalidation sweeps.
+    pub entries_invalidated: u64,
+    /// Cached entries examined by a submit-time sweep and proven fresh.
+    pub entries_retained: u64,
     /// Online end-to-end (submit-to-fulfill) latency distribution of
     /// completed requests, log2-bucketed nanoseconds.
     pub latency: HistogramSnapshot,

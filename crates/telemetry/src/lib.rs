@@ -25,7 +25,7 @@ mod span;
 
 pub use hist::{HistogramSnapshot, LatencyHistogram, NUM_BUCKETS};
 pub use snapshot::{
-    schema_paths, EmbedCacheTelemetry, EngineTelemetry, LatencyTelemetry, ServeTelemetry,
-    TelemetrySnapshot, TimeCacheTelemetry, SCHEMA_VERSION,
+    schema_paths, EmbedCacheTelemetry, EngineTelemetry, IngestTelemetry, LatencyTelemetry,
+    ServeTelemetry, TelemetrySnapshot, TimeCacheTelemetry, SCHEMA_VERSION,
 };
 pub use span::{OpKind, Recorder, StageSpan};

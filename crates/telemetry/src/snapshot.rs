@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize, Value};
 
 /// Version stamp embedded in every snapshot; bump on any schema change
 /// (and regenerate the committed golden fingerprint).
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// TGOpt engine counters (mirror of `tgopt::EngineCounters`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,6 +87,38 @@ pub struct ServeTelemetry {
     pub degraded_batches: u64,
 }
 
+/// Streaming-ingest accounting: the delta-log write path plus the
+/// targeted cache-invalidation sweep it drives (zeros for a frozen-graph
+/// run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestTelemetry {
+    /// Edges appended to the live graph's delta log.
+    pub edges_appended: u64,
+    /// Delta-to-CSR compactions performed.
+    pub compactions: u64,
+    /// Edges currently waiting in the delta log (not yet compacted).
+    pub delta_edges: u64,
+    /// Cached entries dropped by targeted invalidation (submit-time
+    /// sweeps plus post-wave replays).
+    pub entries_invalidated: u64,
+    /// Cached entries examined by a submit-time sweep and proven fresh —
+    /// the savings over sledgehammer per-node invalidation.
+    pub entries_retained: u64,
+}
+
+impl IngestTelemetry {
+    /// Fraction of sweep-examined entries retained (0.0 before the first
+    /// sweep — never NaN).
+    pub fn retention_rate(&self) -> f64 {
+        let examined = self.entries_invalidated + self.entries_retained;
+        if examined == 0 {
+            0.0
+        } else {
+            self.entries_retained as f64 / examined as f64
+        }
+    }
+}
+
 /// Online latency distributions (log2-bucketed, nanoseconds).
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyTelemetry {
@@ -111,6 +143,8 @@ pub struct TelemetrySnapshot {
     pub embed_cache: EmbedCacheTelemetry,
     /// Serving-layer counters (zeros for an offline bench).
     pub serve: ServeTelemetry,
+    /// Streaming-ingest accounting (zeros for a frozen-graph run).
+    pub ingest: IngestTelemetry,
     /// Latency distributions (empty histograms when not serving).
     pub latency: LatencyTelemetry,
 }
@@ -177,6 +211,7 @@ mod tests {
             time_cache: TimeCacheTelemetry { lookups: 5, hits: 2 },
             embed_cache: EmbedCacheTelemetry { items: 3, bytes: 4096, limit: 100, evictions: 1 },
             serve: ServeTelemetry { submitted: 9, completed: 8, rejected_deadline: 1, ..Default::default() },
+            ingest: IngestTelemetry { edges_appended: 6, entries_invalidated: 2, ..Default::default() },
             latency: LatencyTelemetry {
                 end_to_end: hist.snapshot(),
                 workers: vec![hist.snapshot(), Default::default()],

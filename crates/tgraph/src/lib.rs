@@ -8,8 +8,12 @@
 //! * [`TemporalGraph`] — a time-sorted CSR adjacency ("T-CSR", after TGL),
 //!   supporting incremental insertion as the stream is replayed, plus edge
 //!   deletion for the cache-invalidation extension.
+//! * [`LiveGraph`] — streaming ingest: an append-friendly delta-log beside
+//!   the frozen T-CSR with periodic compaction, serving epoch-stamped
+//!   [`GraphView`] snapshots to concurrent readers.
 //! * [`sampler`] — parallel most-recent and uniform temporal neighborhood
-//!   samplers upholding the temporal constraint `t_j < t`.
+//!   samplers upholding the temporal constraint `t_j < t`, generic over
+//!   frozen graphs and live views via [`HistorySource`].
 //! * [`batch`] — fixed-size chronological batch iteration (batch size 200 in
 //!   the paper's inference task).
 //!
@@ -18,12 +22,16 @@
 
 pub mod batch;
 pub mod graph;
+pub mod live;
 pub mod sampler;
 pub mod stream;
 
 pub use batch::{BatchIter, EdgeBatch};
 pub use graph::TemporalGraph;
-pub use sampler::{NeighborhoodBatch, SamplingStrategy, TemporalSampler, INVALID_EDGE};
+pub use live::{GraphView, IngestStats, LiveGraph};
+pub use sampler::{
+    HistorySource, NeighborhoodBatch, SamplingStrategy, TemporalSampler, INVALID_EDGE,
+};
 pub use stream::{Edge, EdgeStream};
 
 /// Node identifier (32-bit, per the paper's key-packing scheme).

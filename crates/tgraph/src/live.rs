@@ -1,0 +1,542 @@
+//! Live streaming ingest: an append-friendly delta-log beside the frozen
+//! T-CSR, with epoch-stamped consistent views for concurrent readers.
+//!
+//! The paper's replay workloads freeze the graph before inference, but a
+//! deployed system interleaves edge arrivals with queries. [`LiveGraph`]
+//! keeps the bulk of the adjacency in an immutable frozen
+//! [`TemporalGraph`] (*base*) and routes appends into a small per-node
+//! sorted *delta* beside it. Readers take a [`GraphView`] — an
+//! `Arc`-pinned generation plus an epoch (the count of edges submitted so
+//! far) — and see exactly the prefix of the edge stream up to that epoch,
+//! no matter how many writers append concurrently.
+//!
+//! Epoch protocol (modeled in `tests/loom_concurrency.rs`):
+//!
+//! * `append` holds `gen.read` + `delta.write`, assigns the edge the next
+//!   global sequence number, inserts it time-sorted into both endpoints'
+//!   delta postings, and only then publishes `epoch = seq + 1` with a
+//!   `Release` store (still inside the delta lock).
+//! * `view` holds `gen.read`, clones the generation `Arc`, and loads the
+//!   epoch with `Acquire` — so a view whose epoch covers an edge is
+//!   guaranteed to observe its posting.
+//! * Readers re-filter delta postings by `seq < epoch` under `delta.read`,
+//!   so an in-flight sorted insertion that shifts positions can never leak
+//!   a too-new edge into an older view.
+//!
+//! Compaction folds the delta log into a fresh frozen base under
+//! `gen.write` and swaps in a new generation; pinned views keep the old
+//! generation (whose delta is never mutated again) alive through their
+//! `Arc`, so a long-running wave stays consistent across any number of
+//! compactions.
+
+use crate::graph::AdjEntry;
+use crate::{Edge, NodeId, TemporalGraph, Time};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, LockResult, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Recovers the guard from a poisoned `read`. All guarded state here is
+/// kept consistent by construction (sorted inserts never leave a gap), so
+/// a panicking writer cannot strand it half-updated.
+fn rlock<T>(r: LockResult<RwLockReadGuard<'_, T>>) -> RwLockReadGuard<'_, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// Recovers the guard from a poisoned `write` (see [`rlock`]).
+fn wlock<T>(r: LockResult<RwLockWriteGuard<'_, T>>) -> RwLockWriteGuard<'_, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// One delta posting: an adjacency entry stamped with the global sequence
+/// number of the edge that produced it, so readers can filter by epoch.
+#[derive(Clone, Copy, Debug)]
+struct DeltaEntry {
+    entry: AdjEntry,
+    seq: u64,
+}
+
+/// Mutable tail of a generation: the append log (in submission order) and
+/// per-node time-sorted postings mirroring `TemporalGraph::insert`'s
+/// undirected, equal-times-append-after semantics.
+#[derive(Debug, Default)]
+struct DeltaState {
+    log: Vec<Edge>,
+    postings: Vec<Vec<DeltaEntry>>,
+}
+
+impl DeltaState {
+    /// Sorted insert matching `TemporalGraph::insert_one`: chronological
+    /// appends are O(1); an out-of-order entry lands *after* any
+    /// equal-time entries already present (`time <= entry.time` cut), so a
+    /// later submission is always the more recent interaction.
+    fn push_posting(&mut self, node: NodeId, entry: AdjEntry, seq: u64) {
+        let n = node as usize;
+        if n >= self.postings.len() {
+            self.postings.resize_with(n + 1, Vec::new);
+        }
+        let list = &mut self.postings[n];
+        match list.last() {
+            Some(last) if last.entry.time > entry.time => {
+                let pos = list.partition_point(|x| x.entry.time <= entry.time);
+                list.insert(pos, DeltaEntry { entry, seq });
+            }
+            _ => list.push(DeltaEntry { entry, seq }),
+        }
+    }
+
+    fn node_postings(&self, node: NodeId) -> &[DeltaEntry] {
+        self.postings.get(node as usize).map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// One immutable-base + mutable-delta snapshot unit. A compaction swaps
+/// the whole generation; views pin the one they started on.
+struct Generation {
+    /// Frozen T-CSR holding every edge with `seq < base_seq`.
+    base: TemporalGraph,
+    /// Global sequence number of the first edge *not* in `base`.
+    base_seq: u64,
+    delta: RwLock<DeltaState>,
+}
+
+/// Monotonic ingest counters, read via [`IngestCounters::snapshot`] only
+/// (L8): each field is an independent monotonic total, so a snapshot torn
+/// across concurrent appends still never goes backwards.
+#[derive(Debug, Default)]
+struct IngestCounters {
+    edges_appended: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl IngestCounters {
+    fn snapshot(&self) -> (u64, u64) {
+        (self.edges_appended.load(Ordering::Relaxed), self.compactions.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time ingest statistics of a [`LiveGraph`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Edges appended through [`LiveGraph::append`] since construction.
+    pub edges_appended: u64,
+    /// Delta-into-base compactions performed.
+    pub compactions: u64,
+    /// Edges currently in the delta log (not yet compacted).
+    pub delta_edges: u64,
+}
+
+/// Delta log length at which [`LiveGraph::append`] triggers a compaction.
+pub const DEFAULT_COMPACT_THRESHOLD: usize = 4096;
+
+/// A temporal graph that accepts concurrent appends while serving
+/// consistent epoch-stamped snapshots to readers.
+///
+/// ```
+/// use tg_graph::{Edge, LiveGraph, TemporalGraph};
+///
+/// let live = LiveGraph::new(TemporalGraph::with_nodes(4));
+/// let v0 = live.view();
+/// live.append(&Edge { src: 0, dst: 1, time: 1.0, eid: 0 });
+/// let v1 = live.view();
+/// // v0 was taken before the append and never sees the edge; v1 does.
+/// assert_eq!((v0.epoch(), v1.epoch()), (0, 1));
+/// ```
+pub struct LiveGraph {
+    gen: RwLock<Arc<Generation>>,
+    /// Published count of appended edges: an edge with global sequence
+    /// number `s` is visible to exactly the views with `epoch > s`.
+    /// Stored with `Release` *after* its postings land (see module docs);
+    /// never used as bare branch-control — readers always confirm under
+    /// the delta lock.
+    epoch: AtomicU64,
+    counters: IngestCounters,
+    compact_threshold: usize,
+}
+
+impl LiveGraph {
+    /// Wraps a base graph (frozen if it is not already) with an empty
+    /// delta. Edges already in `base` occupy sequence numbers
+    /// `0..base.num_edges()`.
+    pub fn new(mut base: TemporalGraph) -> Self {
+        base.freeze();
+        let base_seq = base.num_edges() as u64;
+        Self {
+            gen: RwLock::new(Arc::new(Generation {
+                base,
+                base_seq,
+                delta: RwLock::new(DeltaState::default()),
+            })),
+            epoch: AtomicU64::new(base_seq),
+            counters: IngestCounters::default(),
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        }
+    }
+
+    /// Sets the delta-log length that triggers auto-compaction on append.
+    /// A threshold of `usize::MAX` disables it (tests compact explicitly).
+    pub fn with_compact_threshold(mut self, threshold: usize) -> Self {
+        self.compact_threshold = threshold.max(1);
+        self
+    }
+
+    /// Appends one interaction and returns its global sequence number.
+    ///
+    /// # Invariants
+    ///
+    /// * The edge's postings are inserted (both endpoints, time-sorted,
+    ///   equal times after existing ones — identical to
+    ///   `TemporalGraph::insert`) *before* the epoch advances past its
+    ///   sequence number, so no view can have a visible-but-absent edge.
+    /// * Sequence numbers are contiguous: this edge gets exactly
+    ///   `epoch()` as observed before the call by any serialized caller.
+    /// * Triggers compaction after releasing the generation lock once the
+    ///   delta log reaches the configured threshold.
+    pub fn append(&self, e: &Edge) -> u64 {
+        let (seq, should_compact) = {
+            let gen = rlock(self.gen.read());
+            let mut delta = wlock(gen.delta.write());
+            let seq = gen.base_seq + delta.log.len() as u64;
+            delta.log.push(*e);
+            delta.push_posting(e.src, AdjEntry { time: e.time, ngh: e.dst, eid: e.eid }, seq);
+            delta.push_posting(e.dst, AdjEntry { time: e.time, ngh: e.src, eid: e.eid }, seq);
+            // Publish while still holding the delta lock: a view taken
+            // after this store is guaranteed to find the postings.
+            self.epoch.store(seq + 1, Ordering::Release);
+            (seq, delta.log.len() >= self.compact_threshold)
+        };
+        self.counters.edges_appended.fetch_add(1, Ordering::Relaxed);
+        if should_compact {
+            self.compact();
+        }
+        seq
+    }
+
+    /// Takes a consistent snapshot: everything submitted before this call
+    /// is visible, nothing submitted after ever becomes visible.
+    pub fn view(&self) -> GraphView {
+        let gen = rlock(self.gen.read());
+        // Acquire pairs with `append`'s Release: an epoch that covers an
+        // edge implies its postings are visible to this thread.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        GraphView { gen: Arc::clone(&gen), epoch }
+    }
+
+    /// Total edges submitted (base + delta). Equals the epoch a fresh
+    /// [`LiveGraph::view`] would carry, and the sequence number (= edge
+    /// id slot) the next [`LiveGraph::append`] will assign if callers
+    /// serialize their submissions.
+    pub fn num_edges_total(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Folds the delta log into a fresh frozen base and swaps in a new
+    /// empty-delta generation.
+    ///
+    /// # Invariants
+    ///
+    /// * Replays the log in sequence order through `TemporalGraph::insert`,
+    ///   so the new base is bit-identical to a cold rebuild of the full
+    ///   stream prefix.
+    /// * Existing views keep the old generation alive via their `Arc`;
+    ///   its delta is never mutated again, so they stay consistent.
+    /// * The epoch does not move: compaction changes representation, not
+    ///   visibility.
+    pub fn compact(&self) {
+        let mut gen_slot = wlock(self.gen.write());
+        let folded = {
+            let delta = rlock(gen_slot.delta.read());
+            if delta.log.is_empty() {
+                return;
+            }
+            let mut base = gen_slot.base.clone();
+            for e in &delta.log {
+                base.insert(e);
+            }
+            base.freeze();
+            let base_seq = gen_slot.base_seq + delta.log.len() as u64;
+            Generation { base, base_seq, delta: RwLock::new(DeltaState::default()) }
+        };
+        *gen_slot = Arc::new(folded);
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the ingest counters plus the current delta backlog.
+    pub fn ingest_stats(&self) -> IngestStats {
+        let (edges_appended, compactions) = self.counters.snapshot();
+        let delta_edges = {
+            let gen = rlock(self.gen.read());
+            let delta = rlock(gen.delta.read());
+            delta.log.len() as u64
+        };
+        IngestStats { edges_appended, compactions, delta_edges }
+    }
+}
+
+/// An epoch-stamped snapshot of a [`LiveGraph`]: a pinned generation plus
+/// the visibility horizon. Cheap to clone; safe to hold across
+/// compactions and concurrent appends.
+#[derive(Clone)]
+pub struct GraphView {
+    gen: Arc<Generation>,
+    epoch: u64,
+}
+
+impl GraphView {
+    /// The visibility horizon: edges with sequence numbers `< epoch` are
+    /// visible, everything newer is not.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total visible edges (the stream prefix length this view serves).
+    pub fn num_edges(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Node-id address space: the base graph's, extended by any delta
+    /// postings for larger ids.
+    pub fn num_nodes(&self) -> usize {
+        let delta = rlock(self.gen.delta.read());
+        self.gen.base.num_nodes().max(delta.postings.len())
+    }
+
+    /// Visible interactions of `node` strictly before `t` — the temporal
+    /// neighborhood size `|N(node, t)|` this view serves.
+    pub fn hist_len_before(&self, node: NodeId, t: Time) -> usize {
+        let base = self.gen.base.neighbors_before(node, t);
+        let delta = rlock(self.gen.delta.read());
+        let d = delta.node_postings(node);
+        let cut = d.partition_point(|x| x.entry.time < t);
+        base.len() + d[..cut].iter().filter(|x| x.seq < self.epoch).count()
+    }
+
+    /// Streams the last `take` visible interactions of `node` strictly
+    /// before `t`, in chronological order (`f(slot, entry)` with slot 0
+    /// the oldest of the window). `take` must not exceed
+    /// [`GraphView::hist_len_before`]; excess slots are left uncalled.
+    ///
+    /// The merge walks base and delta backward from the `t` cutoff,
+    /// preferring delta at equal times (a delta edge was submitted later,
+    /// hence is the more recent interaction — matching where
+    /// `TemporalGraph::insert` would have placed it in a cold rebuild).
+    pub fn most_recent<F: FnMut(usize, AdjEntry)>(&self, node: NodeId, t: Time, take: usize, mut f: F) {
+        let base = self.gen.base.neighbors_before(node, t);
+        let delta = rlock(self.gen.delta.read());
+        let d = delta.node_postings(node);
+        let cut = d.partition_point(|x| x.entry.time < t);
+        let d = &d[..cut];
+        let mut bi = base.len();
+        let mut di = d.len();
+        let mut slot = take;
+        while slot > 0 {
+            while di > 0 && d[di - 1].seq >= self.epoch {
+                di -= 1;
+            }
+            slot -= 1;
+            if di > 0 && (bi == 0 || d[di - 1].entry.time >= base[bi - 1].time) {
+                f(slot, d[di - 1].entry);
+                di -= 1;
+            } else if bi > 0 {
+                f(slot, base[bi - 1]);
+                bi -= 1;
+            } else {
+                // take exceeded the visible history; leave the rest unfilled.
+                return;
+            }
+        }
+    }
+
+    /// The `i`-th (0-based, chronological) visible interaction of `node`
+    /// strictly before `t`, or `None` past the end. Random access for the
+    /// uniform sampling strategy; O(history) forward merge.
+    pub fn nth_before(&self, node: NodeId, t: Time, i: usize) -> Option<AdjEntry> {
+        let base = self.gen.base.neighbors_before(node, t);
+        let delta = rlock(self.gen.delta.read());
+        let d = delta.node_postings(node);
+        let cut = d.partition_point(|x| x.entry.time < t);
+        let mut di = d[..cut].iter().filter(|x| x.seq < self.epoch);
+        let mut next_d = di.next();
+        let mut bi = base.iter();
+        let mut next_b = bi.next();
+        let mut idx = 0;
+        loop {
+            // Forward tie rule: base first (it was submitted earlier).
+            let pick_base = match (next_b, next_d) {
+                (Some(b), Some(dd)) => b.time <= dd.entry.time,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            let entry = if pick_base {
+                let e = *next_b?;
+                next_b = bi.next();
+                e
+            } else {
+                let e = next_d?.entry;
+                next_d = di.next();
+                e
+            };
+            if idx == i {
+                return Some(entry);
+            }
+            idx += 1;
+        }
+    }
+
+    /// Collects the visible neighborhood before `t` into a vector
+    /// (chronological). Test/diagnostic helper — the samplers use the
+    /// streaming accessors above.
+    pub fn neighbors_before_vec(&self, node: NodeId, t: Time) -> Vec<AdjEntry> {
+        let len = self.hist_len_before(node, t);
+        let mut out = vec![AdjEntry { time: 0.0, ngh: 0, eid: 0 }; len];
+        self.most_recent(node, t, len, |slot, e| out[slot] = e);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(src: NodeId, dst: NodeId, time: Time, eid: crate::EdgeId) -> Edge {
+        Edge { src, dst, time, eid }
+    }
+
+    fn base_line() -> TemporalGraph {
+        let mut g = TemporalGraph::with_nodes(6);
+        for i in 1..=3u32 {
+            g.insert(&edge(0, i, i as Time, i - 1));
+        }
+        g.freeze();
+        g
+    }
+
+    /// Cold rebuild: every submitted edge inserted in order into one
+    /// frozen graph — the ground truth every view must agree with.
+    fn rebuild(base: &TemporalGraph, extra: &[Edge]) -> TemporalGraph {
+        let mut g = base.clone();
+        for e in extra {
+            g.insert(e);
+        }
+        g.freeze();
+        g
+    }
+
+    fn assert_view_matches(view: &GraphView, truth: &TemporalGraph, node: NodeId, t: Time) {
+        let expect = truth.neighbors_before(node, t);
+        assert_eq!(view.hist_len_before(node, t), expect.len(), "len for ({node}, {t})");
+        assert_eq!(view.neighbors_before_vec(node, t), expect.to_vec(), "entries for ({node}, {t})");
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(view.nth_before(node, t, i), Some(*e), "nth {i} for ({node}, {t})");
+        }
+        assert_eq!(view.nth_before(node, t, expect.len()), None);
+    }
+
+    #[test]
+    fn view_pins_the_epoch_at_creation() {
+        let live = LiveGraph::new(base_line());
+        let v0 = live.view();
+        assert_eq!(v0.epoch(), 3);
+        live.append(&edge(0, 4, 4.0, 3));
+        let v1 = live.view();
+        assert_eq!(v0.epoch(), 3);
+        assert_eq!(v1.epoch(), 4);
+        assert_eq!(v0.hist_len_before(0, 10.0), 3, "old view must not see the append");
+        assert_eq!(v1.hist_len_before(0, 10.0), 4);
+    }
+
+    #[test]
+    fn view_equals_cold_rebuild_including_out_of_order_and_ties() {
+        let base = base_line();
+        let live = LiveGraph::new(base.clone());
+        let extra = [
+            edge(0, 4, 5.0, 3),
+            edge(0, 5, 2.0, 4), // out of order: lands between base times 2 and 3
+            edge(1, 2, 2.0, 5), // exact tie with base time 2.0 on node 2
+            edge(0, 0, 6.0, 6), // self-loop: two postings on node 0
+        ];
+        for e in &extra {
+            live.append(e);
+        }
+        let truth = rebuild(&base, &extra);
+        let view = live.view();
+        for node in 0..6u32 {
+            for t in [0.5, 2.0, 2.5, 3.0, 5.5, 100.0] {
+                assert_view_matches(&view, &truth, node, t);
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_views_and_visibility() {
+        let base = base_line();
+        let live = LiveGraph::new(base.clone());
+        let extra = [edge(2, 3, 4.0, 3), edge(0, 5, 4.5, 4)];
+        live.append(&extra[0]);
+        let old_view = live.view();
+        live.append(&extra[1]);
+        live.compact();
+        assert_eq!(live.ingest_stats().compactions, 1);
+        assert_eq!(live.ingest_stats().delta_edges, 0);
+
+        // The pre-compaction view still serves its prefix.
+        let truth_old = rebuild(&base, &extra[..1]);
+        for node in 0..6u32 {
+            assert_view_matches(&old_view, &truth_old, node, 100.0);
+        }
+        // A fresh view serves everything, now from the compacted base.
+        let truth_new = rebuild(&base, &extra);
+        let new_view = live.view();
+        assert_eq!(new_view.epoch(), 5);
+        for node in 0..6u32 {
+            assert_view_matches(&new_view, &truth_new, node, 100.0);
+        }
+        // Appends keep working after compaction, with contiguous seqs.
+        assert_eq!(live.append(&edge(1, 4, 6.0, 5)), 5);
+        assert_eq!(live.view().hist_len_before(1, 10.0), 2);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_at_threshold() {
+        let live = LiveGraph::new(base_line()).with_compact_threshold(2);
+        live.append(&edge(0, 1, 4.0, 3));
+        assert_eq!(live.ingest_stats().compactions, 0);
+        live.append(&edge(0, 2, 5.0, 4));
+        let stats = live.ingest_stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.delta_edges, 0);
+        assert_eq!(stats.edges_appended, 2);
+    }
+
+    #[test]
+    fn node_range_grows_with_delta_postings() {
+        let live = LiveGraph::new(base_line());
+        assert_eq!(live.view().num_nodes(), 6);
+        live.append(&edge(0, 9, 4.0, 3));
+        let view = live.view();
+        assert_eq!(view.num_nodes(), 10);
+        assert_eq!(view.hist_len_before(9, 10.0), 1);
+        // Unknown node ids past the range read as empty, not a panic.
+        assert_eq!(view.hist_len_before(42, 10.0), 0);
+        assert_eq!(view.nth_before(42, 10.0, 0), None);
+    }
+
+    #[test]
+    fn most_recent_window_matches_suffix_of_rebuild() {
+        let base = base_line();
+        let live = LiveGraph::new(base.clone());
+        let extra = [edge(0, 4, 2.5, 3), edge(0, 5, 9.0, 4)];
+        for e in &extra {
+            live.append(e);
+        }
+        let truth = rebuild(&base, &extra);
+        let view = live.view();
+        let full = truth.neighbors_before(0, 100.0);
+        for take in 0..=full.len() {
+            let mut got = vec![None; take];
+            view.most_recent(0, 100.0, take, |slot, e| got[slot] = Some(e));
+            let expect: Vec<Option<AdjEntry>> =
+                full[full.len() - take..].iter().map(|e| Some(*e)).collect();
+            assert_eq!(got, expect, "take={take}");
+        }
+    }
+}

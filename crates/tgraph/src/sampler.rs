@@ -7,6 +7,8 @@
 //! *uniform* strategy is provided for the future-work comparison (§7) — the
 //! TGOpt engine automatically bypasses the embedding cache when it is used.
 
+use crate::graph::AdjEntry;
+use crate::live::GraphView;
 use crate::{EdgeId, NodeId, TemporalGraph, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,6 +16,54 @@ use rayon::prelude::*;
 
 /// Edge id marking a padding slot in a sampled neighborhood.
 pub const INVALID_EDGE: EdgeId = EdgeId::MAX;
+
+/// Anything the sampler can draw temporal neighborhoods from: the frozen
+/// [`TemporalGraph`] or an epoch-stamped live [`GraphView`]. All three
+/// accessors describe the same time-sorted sequence — the interactions of
+/// `node` strictly before `t` — so any two sources that agree on it sample
+/// identically (the streamed-view ≡ cold-rebuild equivalence rests here).
+pub trait HistorySource {
+    /// `|N(node, t)|`: interactions of `node` strictly before `t`.
+    fn hist_len_before(&self, node: NodeId, t: Time) -> usize;
+    /// Streams the last `take` interactions before `t` chronologically
+    /// (`f(slot, entry)`, slot 0 oldest). `take` must not exceed
+    /// [`HistorySource::hist_len_before`].
+    fn most_recent<F: FnMut(usize, AdjEntry)>(&self, node: NodeId, t: Time, take: usize, f: F);
+    /// Random access: the `i`-th chronological interaction before `t`.
+    fn nth_before(&self, node: NodeId, t: Time, i: usize) -> Option<AdjEntry>;
+}
+
+impl HistorySource for TemporalGraph {
+    fn hist_len_before(&self, node: NodeId, t: Time) -> usize {
+        self.neighbors_before(node, t).len()
+    }
+
+    fn most_recent<F: FnMut(usize, AdjEntry)>(&self, node: NodeId, t: Time, take: usize, mut f: F) {
+        let hist = self.neighbors_before(node, t);
+        let tail = &hist[hist.len() - take.min(hist.len())..];
+        for (slot, e) in tail.iter().enumerate() {
+            f(slot, *e);
+        }
+    }
+
+    fn nth_before(&self, node: NodeId, t: Time, i: usize) -> Option<AdjEntry> {
+        self.neighbors_before(node, t).get(i).copied()
+    }
+}
+
+impl HistorySource for GraphView {
+    fn hist_len_before(&self, node: NodeId, t: Time) -> usize {
+        GraphView::hist_len_before(self, node, t)
+    }
+
+    fn most_recent<F: FnMut(usize, AdjEntry)>(&self, node: NodeId, t: Time, take: usize, f: F) {
+        GraphView::most_recent(self, node, t, take, f)
+    }
+
+    fn nth_before(&self, node: NodeId, t: Time, i: usize) -> Option<AdjEntry> {
+        GraphView::nth_before(self, node, t, i)
+    }
+}
 
 /// How neighbors are picked from the temporal neighborhood.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,28 +179,39 @@ impl TemporalSampler {
         self.strategy
     }
 
-    /// Samples the temporal neighborhood of every `(ns[i], ts[i])` target.
+    /// Samples the temporal neighborhood of every `(ns[i], ts[i])` target
+    /// from a frozen graph.
     pub fn sample(&self, g: &TemporalGraph, ns: &[NodeId], ts: &[Time]) -> NeighborhoodBatch {
+        self.sample_from(g, ns, ts)
+    }
+
+    /// Samples from an epoch-stamped live view: identical slot layout and
+    /// selection to [`TemporalSampler::sample`] on the equivalent frozen
+    /// graph (the stream prefix up to the view's epoch).
+    pub fn sample_view(&self, v: &GraphView, ns: &[NodeId], ts: &[Time]) -> NeighborhoodBatch {
+        self.sample_from(v, ns, ts)
+    }
+
+    /// Shared sampling core over any [`HistorySource`].
+    pub fn sample_from<S: HistorySource + Sync>(&self, src: &S, ns: &[NodeId], ts: &[Time]) -> NeighborhoodBatch {
         assert_eq!(ns.len(), ts.len(), "node/time target arrays differ in length");
         let n = ns.len();
         let mut out = NeighborhoodBatch::empty(n, self.k, ts);
         let k = self.k;
         let strategy = self.strategy;
         let fill = |i: usize, nodes: &mut [NodeId], times: &mut [Time], eids: &mut [EdgeId], dts: &mut [Time]| {
-            let hist = g.neighbors_before(ns[i], ts[i]);
-            if hist.is_empty() {
+            let len = src.hist_len_before(ns[i], ts[i]);
+            if len == 0 {
                 return;
             }
             match strategy {
                 SamplingStrategy::MostRecent => {
-                    let take = hist.len().min(k);
-                    let tail = &hist[hist.len() - take..];
-                    for (slot, e) in tail.iter().enumerate() {
+                    src.most_recent(ns[i], ts[i], len.min(k), |slot, e| {
                         nodes[slot] = e.ngh;
                         times[slot] = e.time;
                         eids[slot] = e.eid;
                         dts[slot] = ts[i] - e.time;
-                    }
+                    });
                 }
                 SamplingStrategy::Uniform { seed } => {
                     // Deterministic per-target stream: reruns of the same
@@ -159,8 +220,10 @@ impl TemporalSampler {
                         ^ (ns[i] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         ^ (ts[i].to_bits() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
                     let mut rng = StdRng::seed_from_u64(s);
-                    for slot in 0..k.min(hist.len()) {
-                        let e = &hist[rng.gen_range(0..hist.len())];
+                    for slot in 0..k.min(len) {
+                        let Some(e) = src.nth_before(ns[i], ts[i], rng.gen_range(0..len)) else {
+                            continue;
+                        };
                         nodes[slot] = e.ngh;
                         times[slot] = e.time;
                         eids[slot] = e.eid;
@@ -283,6 +346,47 @@ mod tests {
             if a.is_valid(i) {
                 assert!(a.times[i] < 4.0);
             }
+        }
+    }
+
+    #[test]
+    fn view_and_frozen_graph_sample_identically() {
+        use crate::LiveGraph;
+        // Split a scrambled-arrival stream: first half becomes the frozen
+        // base, the second half is appended live. Sampling the view must
+        // equal sampling a cold rebuild of the full stream — for both
+        // strategies, including the seeded uniform draws.
+        let mut edges = Vec::new();
+        for i in 0..120u32 {
+            let t = if i % 7 == 0 { (i / 2) as Time } else { i as Time }; // some out-of-order
+            edges.push(Edge { src: i % 10, dst: (i * 3 + 1) % 10, time: t, eid: i });
+        }
+        let mut base = TemporalGraph::with_nodes(10);
+        for e in &edges[..60] {
+            base.insert(e);
+        }
+        base.freeze();
+        let mut truth = base.clone();
+        let live = LiveGraph::new(base);
+        for e in &edges[60..] {
+            live.append(e);
+            truth.insert(e);
+        }
+        truth.freeze();
+        let view = live.view();
+        let ns: Vec<NodeId> = (0..100).map(|i| i % 10).collect();
+        let ts: Vec<Time> = (0..100).map(|i| 20.0 + i as Time).collect();
+        for sampler in [
+            TemporalSampler::most_recent(5),
+            TemporalSampler::most_recent(5).sequential(),
+            TemporalSampler::new(4, SamplingStrategy::Uniform { seed: 11 }),
+        ] {
+            let frozen = sampler.sample(&truth, &ns, &ts);
+            let streamed = sampler.sample_view(&view, &ns, &ts);
+            assert_eq!(frozen.nodes, streamed.nodes);
+            assert_eq!(frozen.times, streamed.times);
+            assert_eq!(frozen.eids, streamed.eids);
+            assert_eq!(frozen.dts, streamed.dts);
         }
     }
 

@@ -67,8 +67,10 @@ pub const CACHE_STATE_FILES: &[&str] = &[
     "crates/core/src/cache.rs",
     "crates/core/src/timecache.rs",
     "crates/core/src/persist.rs",
+    "crates/serve/src/ingest.rs",
     "crates/serve/src/queue.rs",
     "crates/serve/src/stats.rs",
+    "crates/tgraph/src/live.rs",
 ];
 
 /// Files holding cache/serve accounting state whose counters must be read
@@ -80,6 +82,7 @@ pub const COUNTER_FILES: &[&str] = &[
     "crates/serve/src/server.rs",
     "crates/serve/src/stats.rs",
     "crates/telemetry/src/hist.rs",
+    "crates/tgraph/src/live.rs",
 ];
 
 /// Outcome of a whole-workspace lint run.

@@ -6,6 +6,9 @@
 # Runs, in order:
 #   1. cargo build --release        — the workspace compiles with optimizations
 #   2. cargo test -q --workspace    — every crate's unit + integration tests
+#      (includes the streaming-ingest suites: tests/prop_streaming.rs,
+#      the seeded interleaving equivalence battery, and
+#      tests/streaming_stress.rs, real concurrent ingest+query workers)
 #   3. cargo run -p tg-xtask -- lint — the repo's static-analysis suite
 #      (L1 panic, L2 lossy-cast, L3 std-hash, L4 missing-invariants; the
 #      concurrency rules L5 lock-order, L6 atomics, L7 lock-across,
@@ -13,6 +16,8 @@
 #      L9 hot-path-alloc, L10 panic-reach, L11 float-determinism,
 #      L12 error-coverage; see DESIGN.md "Error handling & lint policy",
 #      "Concurrency model", and "Call-graph reachability (L9-L12)")
+#   4. streaming --verify           — live-ingest served rows vs cold
+#      rebuild (the blocking half of the streaming smoke bench in CI)
 #
 # The lint also runs inside `cargo test` via tests/lint_gate.rs, so step 3
 # is technically redundant — but running it standalone gives file:line
@@ -35,5 +40,12 @@ cargo test -q --workspace
 
 echo "==> cargo run -p tg-xtask -- lint"
 cargo run --release -q -p tg-xtask -- lint
+
+# Streaming-ingest equivalence gate (mirrors the blocking CI step): serve
+# from a live graph while ingesting the whole tail, then check served
+# rows against a cold rebuild. Exits nonzero on divergence.
+echo "==> streaming --verify"
+cargo build --release -q -p tg-bench
+./target/release/streaming --verify >/dev/null
 
 echo "==> all checks passed"

@@ -17,6 +17,7 @@ use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::{Arc, Condvar, Mutex};
 use loom::thread;
 use std::time::Duration;
+use tg_graph::{Edge, LiveGraph, NodeId, TemporalGraph};
 use tg_serve::BoundedQueue;
 use tg_telemetry::LatencyHistogram;
 use tg_tensor::Tensor;
@@ -78,6 +79,84 @@ fn slot_first_write_wins_under_racing_fulfillments() {
         let observed = slot.wait();
         let winner = if w1 { 1 } else { 2 };
         assert_eq!(observed, winner, "waiter must observe the winning write");
+    });
+    assert!(ITERS.load(Ordering::SeqCst) > 1, "model must explore more than one schedule");
+}
+
+/// (e) LiveGraph epoch publish vs reader pin: a writer appends edges —
+/// crossing the compaction threshold mid-stream so a generation swap
+/// races the readers — while one thread repeatedly takes fresh views and
+/// a view pinned before the first append is held across the whole run.
+/// Epochs only advance, every view is internally consistent (each
+/// visible edge contributes exactly two adjacency postings, so a
+/// half-published append would break the identity), and the pinned
+/// snapshot is immutable even after compaction replaced the generation
+/// beneath it.
+#[test]
+fn live_graph_epoch_publish_never_tears_a_view() {
+    static ITERS: AtomicUsize = AtomicUsize::new(0);
+    const N_NODES: u32 = 4;
+
+    fn postings(v: &tg_graph::GraphView) -> u64 {
+        (0..N_NODES).map(|n| v.hist_len_before(n as NodeId, 1e9) as u64).sum()
+    }
+
+    loom::model(|| {
+        ITERS.fetch_add(1, Ordering::SeqCst);
+        let mut base = TemporalGraph::with_nodes(N_NODES as usize);
+        base.insert(&Edge { src: 0, dst: 1, time: 1.0, eid: 0 });
+        base.insert(&Edge { src: 1, dst: 2, time: 2.0, eid: 1 });
+        base.freeze();
+        let live = Arc::new(LiveGraph::new(base).with_compact_threshold(2));
+
+        let pinned = live.view();
+        assert_eq!(pinned.num_edges(), 2);
+
+        let g = Arc::clone(&live);
+        let writer = thread::spawn(move || {
+            for i in 0..3u32 {
+                // Serialized appends get contiguous sequence numbers; the
+                // second one crosses the threshold and compacts inline.
+                let seq = g.append(&Edge {
+                    src: i % N_NODES,
+                    dst: (i + 2) % N_NODES,
+                    time: 3.0 + i as f32,
+                    eid: 2 + i,
+                });
+                assert_eq!(seq, 2 + u64::from(i), "appends must publish contiguous seqs");
+                thread::yield_now();
+            }
+        });
+
+        let g = Arc::clone(&live);
+        let reader = thread::spawn(move || {
+            let mut last = 0u64;
+            for _ in 0..4 {
+                let v = g.view();
+                let epoch = v.epoch();
+                assert!(epoch >= last, "epoch went backwards: {last} -> {epoch}");
+                last = epoch;
+                assert_eq!(v.num_edges(), epoch, "view visibility must equal its epoch");
+                assert_eq!(
+                    postings(&v),
+                    2 * v.num_edges(),
+                    "torn view at epoch {epoch}: postings do not match visible edges"
+                );
+                thread::yield_now();
+            }
+        });
+
+        writer.join().unwrap();
+        reader.join().unwrap();
+
+        // The pinned pre-write snapshot never moved, even though the
+        // writer's inline compaction swapped the generation under it.
+        assert_eq!(pinned.num_edges(), 2, "pinned view must stay frozen");
+        assert_eq!(postings(&pinned), 4, "pinned view postings must stay frozen");
+        let final_view = live.view();
+        assert_eq!(final_view.num_edges(), 5);
+        assert_eq!(postings(&final_view), 10);
+        assert!(live.ingest_stats().compactions >= 1, "threshold 2 must force a compaction");
     });
     assert!(ITERS.load(Ordering::SeqCst) > 1, "model must explore more than one schedule");
 }
