@@ -365,7 +365,7 @@ fn worker_loop(
         // waits inside recv, the rest wait on the lock. Processing runs
         // unlocked, so waves execute concurrently across workers.
         // lint: allow(lock-across, rx exists only to make the !Sync Receiver shareable; the guard protects nothing else and no holder ever takes another lock)
-        let wave = match relock(rx.lock()).recv() {
+        let wave = match relock(rx.lock()).recv() { // bounded-by: idle wait for work, not request latency; the per-wave deadline clock starts at dequeue, and shutdown drops the sender which wakes recv with Err
             Ok(wave) => wave,
             Err(_) => break,
         };

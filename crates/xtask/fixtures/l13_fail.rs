@@ -1,0 +1,46 @@
+//! L13 fail fixture: calls with transitive effects made while a guard is
+//! live — a blocking `join` two frames down, a re-acquisition of the held
+//! lock, and (under a manifest declaring `delta` in `[lock-held]
+//! no_alloc`) a transitive allocation.
+
+struct Pool {
+    state: Mutex<Vec<u64>>,
+    delta: Mutex<u64>,
+    handle: Handle,
+    buf: Vec<u64>,
+}
+
+impl Pool {
+    fn drain(&self) {
+        let g = self.state.lock();
+        self.wait_for_worker();
+        drop(g);
+    }
+
+    fn wait_for_worker(&self) {
+        self.handle.join();
+    }
+
+    fn reenter(&self) {
+        let g = self.state.lock();
+        self.locked_len();
+        drop(g);
+    }
+
+    fn locked_len(&self) -> usize {
+        let g = self.state.lock();
+        let n = g.len();
+        drop(g);
+        n
+    }
+
+    fn record(&self) {
+        let g = self.delta.lock();
+        self.grow();
+        drop(g);
+    }
+
+    fn grow(&self) {
+        self.buf.push(1);
+    }
+}

@@ -1,0 +1,12 @@
+//! L15 fail fixture: unsafe without a `// safety:` justification — a
+//! block, an impl, and a fn.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe impl Send for Wrapper {}
+
+unsafe fn raw_len(p: *const u8) -> usize {
+    0
+}

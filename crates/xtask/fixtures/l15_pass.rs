@@ -1,0 +1,9 @@
+//! L15 pass fixture: every unsafe construct carries its soundness
+//! argument — same line or alone on the line above.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p } // safety: callers pass a pointer into a live, non-empty buffer
+}
+
+// safety: Wrapper owns its buffer exclusively; no thread-affine state
+unsafe impl Send for Wrapper {}

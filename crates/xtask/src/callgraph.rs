@@ -100,7 +100,8 @@ pub(crate) struct ImplBlock {
 }
 
 /// How a call site spells its callee.
-enum CallKind {
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum CallKind {
     /// `recv.name(...)`.
     Method,
     /// `Qual::name(...)` with the qualifier's last segment.
@@ -176,7 +177,7 @@ impl<'a> CallGraph<'a> {
     }
 
     /// `root → … → node` witness path for diagnostics.
-    fn witness(&self, parent: &[Option<usize>], mut at: usize) -> String {
+    pub(crate) fn witness(&self, parent: &[Option<usize>], mut at: usize) -> String {
         let mut chain = vec![self.nodes[at].label()];
         while let Some(p) = parent[at] {
             if p == at {
@@ -193,11 +194,18 @@ impl<'a> CallGraph<'a> {
         chain.join(" → ")
     }
 
-    /// **L9 `hot-path-alloc`** — flags every [`ALLOC_CALLS`] site inside a
-    /// function reachable from an alloc root, unless the line (or the
-    /// fn declaration line) carries `// alloc-ok: <reason>`, or the line
-    /// carries `// lint: allow(hot-path-alloc, <reason>)`.
-    pub fn lint_hot_path_alloc(&self) -> Vec<Finding> {
+    /// **L9 `hot-path-alloc`, reference implementation** — flags every
+    /// [`ALLOC_CALLS`] site inside a function reachable from an alloc
+    /// root, unless the line (or the fn declaration line) carries
+    /// `// alloc-ok: <reason>`, or the line carries
+    /// `// lint: allow(hot-path-alloc, <reason>)`.
+    ///
+    /// The production L9 is [`crate::effects::EffectEngine::
+    /// lint_hot_path_alloc`], which derives the same findings from the
+    /// per-function effect summaries; this direct BFS twin is kept as the
+    /// independent oracle the equivalence test in `tests/lint_gate.rs`
+    /// compares against byte-for-byte.
+    pub fn lint_hot_path_alloc_bfs(&self) -> Vec<Finding> {
         let parent = self.reachable(RootKind::seeds_alloc);
         let mut out = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
@@ -232,13 +240,17 @@ impl<'a> CallGraph<'a> {
         out
     }
 
-    /// **L10 `panic-reach`** — flags every [`PANIC_PATTERNS`] site inside
-    /// a function reachable from a serve root (wherever it lives), plus
-    /// non-literal slice indexing inside reachable `crates/serve/` code.
-    /// Suppressed only by `// lint: allow(panic-reach, <reason>)` — an
-    /// `allow(panic, …)` does not carry over, because "acceptable in this
-    /// file" and "acceptable on the request path" are different claims.
-    pub fn lint_panic_reach(&self) -> Vec<Finding> {
+    /// **L10 `panic-reach`, reference implementation** — flags every
+    /// [`PANIC_PATTERNS`] site inside a function reachable from a serve
+    /// root (wherever it lives), plus non-literal slice indexing inside
+    /// reachable `crates/serve/` code. Suppressed only by
+    /// `// lint: allow(panic-reach, <reason>)` — an `allow(panic, …)` does
+    /// not carry over, because "acceptable in this file" and "acceptable
+    /// on the request path" are different claims.
+    ///
+    /// Like [`Self::lint_hot_path_alloc_bfs`], this is the BFS oracle the
+    /// summary-derived production L10 is equivalence-tested against.
+    pub fn lint_panic_reach_bfs(&self) -> Vec<Finding> {
         let parent = self.reachable(RootKind::seeds_serve);
         let mut out = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
@@ -288,7 +300,23 @@ impl<'a> CallGraph<'a> {
         });
     }
 
+    /// Node indices sorted by `(file path, line, label)` — the canonical
+    /// emission order for JSON and DOT output, so artifacts diff cleanly
+    /// in CI regardless of discovery order.
+    fn display_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by(|&a, &b| {
+            let na = &self.nodes[a];
+            let nb = &self.nodes[b];
+            (&self.sources[na.file].path, na.line, na.label())
+                .cmp(&(&self.sources[nb.file].path, nb.line, nb.label()))
+        });
+        order
+    }
+
     /// Machine-readable graph dump for `tg-xtask callgraph --format json`.
+    /// Functions are sorted by `(file, line, name)` and each `calls` list
+    /// lexicographically, so the artifact is byte-stable across runs.
     pub fn render_json(&self) -> String {
         use crate::report::json_string;
         let alloc = self.reachable(RootKind::seeds_alloc);
@@ -296,10 +324,15 @@ impl<'a> CallGraph<'a> {
         let mut s = String::from("{\"schema_version\":");
         s.push_str(&crate::report::SCHEMA_VERSION.to_string());
         s.push_str(",\"functions\":[");
-        for (i, n) in self.nodes.iter().enumerate() {
-            if i > 0 {
+        for (k, &i) in self.display_order().iter().enumerate() {
+            let n = &self.nodes[i];
+            if k > 0 {
                 s.push(',');
             }
+            let mut calls: Vec<String> =
+                self.edges[i].iter().map(|&j| json_string(&self.nodes[j].label())).collect();
+            calls.sort();
+            calls.dedup();
             s.push_str(&format!(
                 "{{\"name\":{},\"file\":{},\"line\":{},\"root\":{},\"cold\":{},\
                  \"reachable_alloc\":{},\"reachable_serve\":{},\"calls\":[{}]}}",
@@ -315,11 +348,7 @@ impl<'a> CallGraph<'a> {
                 n.cold,
                 alloc[i].is_some(),
                 serve[i].is_some(),
-                self.edges[i]
-                    .iter()
-                    .map(|&j| json_string(&self.nodes[j].label()))
-                    .collect::<Vec<_>>()
-                    .join(","),
+                calls.join(","),
             ));
         }
         s.push_str("]}");
@@ -328,18 +357,27 @@ impl<'a> CallGraph<'a> {
 
     /// Graphviz dump for `tg-xtask callgraph --format dot`. Only nodes in
     /// a closure (or adjacent to one) are emitted — the full workspace
-    /// graph is too dense to read.
+    /// graph is too dense to read. Nodes are numbered in `(file, line,
+    /// label)` order and edges sorted, so the artifact is byte-stable.
     pub fn render_dot(&self) -> String {
         let alloc = self.reachable(RootKind::seeds_alloc);
         let serve = self.reachable(RootKind::seeds_serve);
         let keep: Vec<bool> = (0..self.nodes.len())
             .map(|i| alloc[i].is_some() || serve[i].is_some())
             .collect();
+        // Renumber: DOT ids follow the canonical display order, not the
+        // build order.
+        let order = self.display_order();
+        let mut dot_id = vec![usize::MAX; self.nodes.len()];
+        for (k, &i) in order.iter().enumerate() {
+            dot_id[i] = k;
+        }
         let mut s = String::from("digraph hot_paths {\n  rankdir=LR;\n  node [shape=box];\n");
-        for (i, n) in self.nodes.iter().enumerate() {
+        for &i in &order {
             if !keep[i] {
                 continue;
             }
+            let n = &self.nodes[i];
             let color = match (n.root.is_some(), alloc[i].is_some() && serve[i].is_some()) {
                 (true, _) => "red",
                 (false, true) => "purple",
@@ -348,19 +386,25 @@ impl<'a> CallGraph<'a> {
             };
             s.push_str(&format!(
                 "  n{} [label=\"{}\\n{}:{}\", color={}];\n",
-                i,
+                dot_id[i],
                 n.label().replace('"', "'"),
                 self.sources[n.file].path.replace('"', "'"),
                 n.line,
                 color
             ));
         }
+        let mut arcs: Vec<(usize, usize)> = Vec::new();
         for (i, outs) in self.edges.iter().enumerate() {
             for &j in outs {
                 if keep[i] && keep[j] {
-                    s.push_str(&format!("  n{i} -> n{j};\n"));
+                    arcs.push((dot_id[i], dot_id[j]));
                 }
             }
+        }
+        arcs.sort_unstable();
+        arcs.dedup();
+        for (i, j) in arcs {
+            s.push_str(&format!("  n{i} -> n{j};\n"));
         }
         s.push_str("}\n");
         s
@@ -496,50 +540,88 @@ const NOT_CALLS: &[&str] = &[
     "trait",
 ];
 
-/// Method names so common on std containers, atomics and iterators that a
-/// bare `.name(` call carries no resolution signal: linking them to
-/// same-named workspace impl fns produces phantom edges (`Vec::push` →
-/// `Tape::push`, `HashMap::insert` → `TemporalGraph::insert`,
-/// `AtomicU64::load` → `TgatParams::load`). Skipped during `Method`
-/// resolution only — `Qualified` calls (`Tape::push(...)`) still resolve,
-/// and the allocation/panic patterns themselves are still matched
+/// Method names so common on std containers, atomics, iterators, and sync
+/// primitives that a bare `.name(` call carries no resolution signal:
+/// linking them to same-named workspace impl fns produces phantom edges
+/// (`Vec::push` → `Tape::push`, `HashMap::insert` → `TemporalGraph::insert`,
+/// `AtomicU64::load` → `TgatParams::load`, `Vec::drain` → `TgServer::drain`,
+/// `Condvar::wait` → `Slot::wait`). Skipped during `Method` resolution
+/// only — `Qualified` calls (`Tape::push(...)`) still resolve, and the
+/// allocation/panic/blocking patterns themselves are still matched
 /// textually inside every body that stays reachable, so skipping the edge
 /// drops phantom chains without hiding direct findings.
 const UBIQUITOUS_METHODS: &[&str] = &[
-    "clone", "contains", "contains_key", "extend", "get", "insert", "is_empty", "iter", "len",
-    "load", "next", "push", "remove", "shape",
+    "clear", "clone", "contains", "contains_key", "drain", "extend", "get", "insert", "is_empty",
+    "iter", "len", "load", "next", "push", "remove", "shape", "wait",
 ];
+
+/// Name → candidate-node lookup shared by edge resolution and the effect
+/// engine's guarded-call analysis (L13), so the two can never disagree
+/// about what a call site resolves to.
+pub(crate) struct Resolver<'n> {
+    /// Self-type → method name → candidate nodes.
+    by_qual_name: std::collections::BTreeMap<&'n str, std::collections::BTreeMap<&'n str, Vec<usize>>>,
+    impl_by_name: std::collections::BTreeMap<&'n str, Vec<usize>>,
+    free_by_name: std::collections::BTreeMap<&'n str, Vec<usize>>,
+}
+
+impl<'n> Resolver<'n> {
+    pub(crate) fn new(nodes: &'n [FnNode]) -> Self {
+        let mut by_qual_name: std::collections::BTreeMap<
+            &str,
+            std::collections::BTreeMap<&str, Vec<usize>>,
+        > = std::collections::BTreeMap::new();
+        let mut impl_by_name: std::collections::BTreeMap<&str, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        let mut free_by_name: std::collections::BTreeMap<&str, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            match &n.qual {
+                Some(q) => {
+                    by_qual_name
+                        .entry(q.as_str())
+                        .or_default()
+                        .entry(n.name.as_str())
+                        .or_default()
+                        .push(i);
+                    impl_by_name.entry(n.name.as_str()).or_default().push(i);
+                }
+                None => free_by_name.entry(n.name.as_str()).or_default().push(i),
+            }
+        }
+        Self { by_qual_name, impl_by_name, free_by_name }
+    }
+
+    /// Candidate callee indices for one call site inside `caller`.
+    pub(crate) fn targets(
+        &self,
+        caller: &FnNode,
+        kind: &CallKind,
+        name: &str,
+    ) -> Option<&Vec<usize>> {
+        match kind {
+            CallKind::Qualified(q) => {
+                let q = if q == "Self" { caller.qual.as_deref().unwrap_or(q) } else { q };
+                self.by_qual_name
+                    .get(q)
+                    .and_then(|methods| methods.get(name))
+                    .or_else(|| self.free_by_name.get(name))
+            }
+            CallKind::Method if UBIQUITOUS_METHODS.contains(&name) => None,
+            CallKind::Method => self.impl_by_name.get(name),
+            CallKind::Bare => self.free_by_name.get(name),
+        }
+    }
+}
 
 /// Resolves every call site in every node body to candidate callee nodes.
 fn resolve_edges(sources: &[SourceFile], nodes: &[FnNode]) -> Vec<Vec<usize>> {
-    // Name → candidate indices, split by how the call site can spell it.
-    use std::collections::BTreeMap;
-    let mut by_qual_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    let mut impl_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (i, n) in nodes.iter().enumerate() {
-        match &n.qual {
-            Some(q) => {
-                by_qual_name.entry((q.as_str(), n.name.as_str())).or_default().push(i);
-                impl_by_name.entry(n.name.as_str()).or_default().push(i);
-            }
-            None => free_by_name.entry(n.name.as_str()).or_default().push(i),
-        }
-    }
+    let resolver = Resolver::new(nodes);
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for (i, node) in nodes.iter().enumerate() {
         let src = &sources[node.file];
-        for (kind, name) in call_sites(src, node.body) {
-            let targets: Option<&Vec<usize>> = match &kind {
-                CallKind::Qualified(q) => {
-                    let q = if q == "Self" { node.qual.as_deref().unwrap_or(q) } else { q };
-                    by_qual_name.get(&(q, name.as_str())).or_else(|| free_by_name.get(name.as_str()))
-                }
-                CallKind::Method if UBIQUITOUS_METHODS.contains(&name.as_str()) => None,
-                CallKind::Method => impl_by_name.get(name.as_str()),
-                CallKind::Bare => free_by_name.get(name.as_str()),
-            };
-            if let Some(ts) = targets {
+        for (kind, name, _at) in call_sites(src, node.body) {
+            if let Some(ts) = resolver.targets(node, &kind, &name) {
                 edges[i].extend(ts.iter().copied().filter(|&t| t != i));
             }
         }
@@ -551,8 +633,10 @@ fn resolve_edges(sources: &[SourceFile], nodes: &[FnNode]) -> Vec<Vec<usize>> {
 
 /// Scans a body span for call sites: every `(` preceded by an identifier
 /// that is not a keyword, a macro name (`name!(`), or the `fn` declaration
-/// itself, classified by the token before the identifier.
-fn call_sites(src: &SourceFile, body: (usize, usize)) -> Vec<(CallKind, String)> {
+/// itself, classified by the token before the identifier. The third tuple
+/// element is the byte offset of the callee name (used by the effect
+/// engine to intersect call sites with guard-liveness regions).
+pub(crate) fn call_sites(src: &SourceFile, body: (usize, usize)) -> Vec<(CallKind, String, usize)> {
     let code = &src.code;
     let bytes = code.as_bytes();
     let mut out = Vec::new();
@@ -580,7 +664,7 @@ fn call_sites(src: &SourceFile, body: (usize, usize)) -> Vec<(CallKind, String)>
             continue; // declaration site or macro invocation
         }
         if before.ends_with('.') {
-            out.push((CallKind::Method, name.to_string()));
+            out.push((CallKind::Method, name.to_string(), s));
         } else if before.ends_with("::") {
             // Qualifier segment before the `::`.
             let mut qs = s - 2;
@@ -591,9 +675,9 @@ fn call_sites(src: &SourceFile, body: (usize, usize)) -> Vec<(CallKind, String)>
             if qual.is_empty() {
                 continue; // `::<` turbofish or leading `::` path — skip
             }
-            out.push((CallKind::Qualified(qual.to_string()), name.to_string()));
+            out.push((CallKind::Qualified(qual.to_string()), name.to_string(), s));
         } else {
-            out.push((CallKind::Bare, name.to_string()));
+            out.push((CallKind::Bare, name.to_string(), s));
         }
     }
     out
@@ -602,7 +686,7 @@ fn call_sites(src: &SourceFile, body: (usize, usize)) -> Vec<(CallKind, String)>
 /// Occurrences of `pattern` inside `body`, word-bounded on the left when
 /// the pattern starts with an identifier byte (`vec![` must not match
 /// `my_vec![`; `.push(` needs no boundary — it starts at the dot).
-fn body_matches(src: &SourceFile, body: (usize, usize), pattern: &str) -> Vec<usize> {
+pub(crate) fn body_matches(src: &SourceFile, body: (usize, usize), pattern: &str) -> Vec<usize> {
     let hay = &src.code[body.0..=body.1.min(src.code.len() - 1)];
     let bounded = pattern.as_bytes().first().is_some_and(|&b| is_ident_byte(b));
     let mut out = Vec::new();
@@ -622,7 +706,7 @@ fn body_matches(src: &SourceFile, body: (usize, usize), pattern: &str) -> Vec<us
 /// Non-literal slice-index sites in a body: `expr[i]` where the bracket
 /// follows an identifier, `]`, or `)`, and the index is not a bare
 /// integer literal or a full `..` range (which cannot be out of bounds).
-fn slice_index_sites(src: &SourceFile, body: (usize, usize)) -> Vec<usize> {
+pub(crate) fn slice_index_sites(src: &SourceFile, body: (usize, usize)) -> Vec<usize> {
     let bytes = src.code.as_bytes();
     let mut out = Vec::new();
     for p in body.0..=body.1.min(bytes.len() - 1) {
@@ -737,7 +821,7 @@ mod tests {
         let src = "// hot-path-root(alloc)\nfn root() { inner(); }\nfn inner() {\n    let v = Vec::with_capacity(8);\n    let w = Vec::with_capacity(8); // alloc-ok: grows once, then reused\n}\n";
         let sources = vec![SourceFile::parse("t.rs", src)];
         let g = CallGraph::build(&sources);
-        let f = g.lint_hot_path_alloc();
+        let f = g.lint_hot_path_alloc_bfs();
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 4);
         assert!(f[0].message.contains("root → inner"), "{}", f[0].message);
@@ -748,7 +832,7 @@ mod tests {
         let src = "// hot-path-root(serve)\nfn handle() { step(); }\nfn step() { parse().unwrap(); }\nfn parse() -> Option<u32> { None }\nfn unrelated() { other().unwrap(); }\nfn other() -> Option<u32> { None }\n";
         let sources = vec![SourceFile::parse("t.rs", src)];
         let g = CallGraph::build(&sources);
-        let f = g.lint_panic_reach();
+        let f = g.lint_panic_reach_bfs();
         assert_eq!(f.len(), 1, "unreachable unwrap must not fire: {f:?}");
         assert_eq!(f[0].line, 3);
     }

@@ -12,6 +12,7 @@
 //! inside comments, strings, or `#[cfg(test)]` items.
 
 pub mod callgraph;
+pub mod effects;
 pub mod manifest;
 pub mod report;
 pub mod rules;
@@ -19,6 +20,7 @@ pub mod scopes;
 pub mod source;
 
 pub use callgraph::CallGraph;
+pub use effects::EffectEngine;
 pub use manifest::ConcurrencyManifest;
 pub use report::{render_json, render_text, SCHEMA_VERSION};
 pub use rules::{lint_source, lint_source_with, Finding, Lint, Scope};
@@ -117,14 +119,18 @@ impl LintReport {
 /// in different files. Files reachable through two crate roots are linted
 /// once (paths are canonicalized and deduped).
 ///
-/// Three passes run over the whole workspace at once, after the per-file
-/// pass has parsed everything:
+/// Whole-workspace passes run after the per-file pass has parsed
+/// everything:
 ///
-/// * **L9/L10** — one call graph spanning every non-test source (library
-///   `src/`, `examples/`, bench binaries), seeded from `// hot-path-root`
-///   annotations. Test files are deliberately excluded from the graph:
-///   a test helper calling `embed_batch` would otherwise pull the whole
-///   test suite into the zero-alloc closure.
+/// * **L9/L10/L13/L14** — one [`effects::EffectEngine`] spanning every
+///   non-test source (library `src/`, `examples/`, bench binaries):
+///   SCC-condensed effect summaries power the reachability lints and the
+///   guard-liveness checks. Test files are deliberately excluded from the
+///   graph: a test helper calling `embed_batch` would otherwise pull the
+///   whole test suite into the zero-alloc closure.
+/// * **L16** — the engine's hot-path-root summaries are diffed against
+///   the committed `effects.lock`; set `UPDATE_EFFECTS_LOCK=1` to
+///   regenerate the lock instead of reporting drift.
 /// * **L12** — `TgError` construction/matching coverage over *every*
 ///   parsed file, tests included (a test matching a variant is evidence
 ///   the variant is handled).
@@ -185,8 +191,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                 .to_string_lossy()
                 .replace('\\', "/");
             let scope = match kind {
-                // Concurrency lints only; L5 edges are aggregated below.
-                Kind::Test => Scope { atomics: true, lock_across: true, ..Scope::default() },
+                // Concurrency lints only (plus the unsafe audit — unsafe
+                // in a test deserves its safety argument just as much);
+                // L5 edges are aggregated below.
+                Kind::Test => Scope {
+                    atomics: true,
+                    lock_across: true,
+                    unsafe_audit: true,
+                    ..Scope::default()
+                },
                 Kind::Src => Scope {
                     panic: true,
                     lossy_cast: true,
@@ -196,6 +209,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                     atomics: true,
                     lock_across: true,
                     counters: COUNTER_FILES.contains(&rel.as_str()),
+                    unsafe_audit: true,
                     float_determinism: true,
                     ..Scope::default()
                 },
@@ -204,6 +218,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                     lossy_cast: true,
                     atomics: true,
                     lock_across: true,
+                    unsafe_audit: true,
                     float_determinism: true,
                     ..Scope::default()
                 },
@@ -220,17 +235,35 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         findings.extend(check_lock_graph(&edges, &manifest));
     }
 
-    // L9/L10: one reachability pass over the whole non-test file set.
-    let graph = CallGraph::build(&graph_sources);
-    findings.extend(graph.lint_hot_path_alloc());
-    findings.extend(graph.lint_panic_reach());
+    // L9/L10/L13/L14: one effect-inference pass over the whole non-test
+    // file set (SCC-condensed summaries over the workspace call graph).
+    let engine = effects::EffectEngine::build(&graph_sources);
+    findings.extend(engine.lint_hot_path_alloc());
+    findings.extend(engine.lint_panic_reach());
+    findings.extend(engine.lint_lock_held(&manifest));
+    findings.extend(engine.lint_deadline());
+
+    // L16: hot-path-root summaries vs the committed effects.lock.
+    let roots = engine.root_summaries();
+    let lock_path = root.join(effects::LOCK_NAME);
+    if std::env::var_os("UPDATE_EFFECTS_LOCK").is_some() {
+        std::fs::write(&lock_path, effects::serialize_lock(&roots))?;
+    } else {
+        let committed = std::fs::read_to_string(&lock_path).ok();
+        findings.extend(effects::check_drift(&roots, committed.as_deref()));
+    }
 
     // L12: construction/matching coverage over everything, tests included.
     let all: Vec<&SourceFile> = graph_sources.iter().chain(test_sources.iter()).collect();
     findings.extend(rules::lint_error_coverage(&all));
 
     let files_checked = graph_sources.len() + test_sources.len();
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    // Full-key sort so the report (and its JSON rendering) is a pure
+    // function of the finding set, independent of lint execution order.
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.lint.name(), &a.message)
+            .cmp(&(&b.file, b.line, b.lint.name(), &b.message))
+    });
     findings.dedup();
     Ok(LintReport { findings, files_checked })
 }
@@ -306,6 +339,9 @@ mod fixture_tests {
             counters: lint == Lint::UnguardedCounter,
             hot_path_alloc: lint == Lint::HotPathAlloc,
             panic_reach: lint == Lint::PanicReach,
+            lock_held: lint == Lint::LockHeldEffects,
+            deadline: lint == Lint::DeadlineSafety,
+            unsafe_audit: lint == Lint::UnsafeAudit,
             float_determinism: lint == Lint::FloatDeterminism,
             error_coverage: lint == Lint::ErrorCoverage,
         }
@@ -463,6 +499,57 @@ mod fixture_tests {
     }
 
     #[test]
+    fn l13_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l13_pass.rs", scope_for(Lint::LockHeldEffects)).len(), 0);
+    }
+
+    #[test]
+    fn l13_fail_fixture_fires_on_transitive_effects_under_guards() {
+        let f = lint_fixture("l13_fail.rs", scope_for(Lint::LockHeldEffects));
+        assert_eq!(f.len(), 2, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::LockHeldEffects));
+        assert!(f.iter().any(|x| x.message.contains("blocking effect")));
+        assert!(f.iter().any(|x| x.message.contains("re-acquires")));
+    }
+
+    #[test]
+    fn l13_no_alloc_locks_gate_transitive_allocation() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join("l13_fail.rs");
+        let text = std::fs::read_to_string(&path).expect("l13 fixture");
+        let src = SourceFile::parse("l13_fail.rs", text);
+        let manifest =
+            ConcurrencyManifest { no_alloc_locks: vec!["delta".to_string()], ..Default::default() };
+        let f = lint_source_with(&src, scope_for(Lint::LockHeldEffects), &manifest);
+        assert_eq!(f.len(), 3, "findings: {f:?}");
+        assert!(f.iter().any(|x| x.message.contains("alloc-free")), "{f:?}");
+    }
+
+    #[test]
+    fn l14_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l14_pass.rs", scope_for(Lint::DeadlineSafety)).len(), 0);
+    }
+
+    #[test]
+    fn l14_fail_fixture_fires_on_unbounded_serve_waits() {
+        let f = lint_fixture("l14_fail.rs", scope_for(Lint::DeadlineSafety));
+        assert_eq!(f.len(), 2, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::DeadlineSafety));
+        assert!(f.iter().all(|x| x.message.contains("bounded-by")));
+    }
+
+    #[test]
+    fn l15_pass_fixture_is_clean() {
+        assert_eq!(lint_fixture("l15_pass.rs", scope_for(Lint::UnsafeAudit)).len(), 0);
+    }
+
+    #[test]
+    fn l15_fail_fixture_fires_on_unjustified_unsafe() {
+        let f = lint_fixture("l15_fail.rs", scope_for(Lint::UnsafeAudit));
+        assert_eq!(f.len(), 3, "findings: {f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::UnsafeAudit));
+    }
+
+    #[test]
     fn fail_fixtures_fire_under_the_full_scope_too() {
         for name in [
             "l1_fail.rs",
@@ -477,6 +564,9 @@ mod fixture_tests {
             "l10_fail.rs",
             "l11_fail.rs",
             "l12_fail.rs",
+            "l13_fail.rs",
+            "l14_fail.rs",
+            "l15_fail.rs",
         ] {
             assert!(
                 !lint_fixture(name, Scope::all()).is_empty(),

@@ -1,5 +1,6 @@
-//! CLI for the workspace lints: `cargo run -p tg-xtask -- lint` and the
-//! call-graph inspector `cargo run -p tg-xtask -- callgraph`.
+//! CLI for the workspace lints: `cargo run -p tg-xtask -- lint`, the
+//! call-graph inspector `cargo run -p tg-xtask -- callgraph`, and the
+//! effect-summary dump `cargo run -p tg-xtask -- effects`.
 //!
 //! Exit codes: 0 = clean, 1 = findings (`lint` only), 2 = usage or I/O
 //! error.
@@ -10,6 +11,7 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 Usage: cargo run -p tg-xtask -- lint [--format text|json] [--root PATH]
        cargo run -p tg-xtask -- callgraph [--format json|dot] [--root PATH]
+       cargo run -p tg-xtask -- effects [--format json|lock] [--root PATH]
 
 `lint` runs the repo's static-analysis suite over the workspace library
 crates (src/, src/bin/, tests/), the harness code (examples/, bench
@@ -19,31 +21,43 @@ binaries), and the root integration suite:
   L2 lossy-cast          L6 atomics           (Relaxed control signals, torn RMW)
   L3 std-hash            L7 lock-across       (guards held across expensive calls)
   L4 missing-invariants  L8 unguarded-counter (accounting bypassing snapshot/merge)
-  L9 hot-path-alloc      L10 panic-reach      (call-graph reachability from
+  L9 hot-path-alloc      L10 panic-reach      (effect-summary reachability from
                                                `// hot-path-root` annotations)
   L11 float-determinism  L12 error-coverage   (TgError constructed AND matched)
+  L13 lock-held-effects  L14 deadline-safety  (transitive effects under guards /
+                                               unbounded waits on the serve path)
+  L15 unsafe-audit       L16 effects-drift    (`// safety:` justifications /
+                                               summaries vs committed effects.lock)
 
-`callgraph` dumps the L9/L10 reachability graph itself: `--format json`
-for the full function/edge listing, `--format dot` for a Graphviz view of
-the hot-path closures.
+`callgraph` dumps the reachability graph itself: `--format json` for the
+full function/edge listing, `--format dot` for a Graphviz view of the
+hot-path closures.
 
-The canonical lock order and the control-atomics list live in
-concurrency.toml at the workspace root. See DESIGN.md \"Error handling &
-lint policy\" and \"Concurrency model\" for what each lint means and the
+`effects` dumps the transitive effect summary of every hot-path root:
+`--format json` for the CI artifact, `--format lock` for the exact text
+committed as effects.lock (regenerate in place with
+UPDATE_EFFECTS_LOCK=1 cargo run -q -p tg-xtask -- lint).
+
+The canonical lock order, control-atomics list, and alloc-free lock set
+live in concurrency.toml at the workspace root. See DESIGN.md \"Error
+handling & lint policy\", \"Concurrency model\", and \"Effect inference
+(L13-L16)\" for what each lint means and the
 `// lint: allow(<name>, <reason>)` / `// relaxed-ok: <reason>` /
-`// alloc-ok: <reason>` / `// cold-path: <reason>` escape hatches.";
+`// alloc-ok: <reason>` / `// cold-path: <reason>` / `// safety: <reason>`
+/ `// bounded-by: <reason>` escape hatches.";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let command = match args.next().as_deref() {
         Some("lint") => Cmd::Lint,
         Some("callgraph") => Cmd::Callgraph,
+        Some("effects") => Cmd::Effects,
         Some("-h") | Some("--help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         other => {
-            eprintln!("error: expected `lint` or `callgraph`, got {other:?}\n{USAGE}");
+            eprintln!("error: expected `lint`, `callgraph`, or `effects`, got {other:?}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -81,12 +95,14 @@ fn main() -> ExitCode {
     match command {
         Cmd::Lint => run_lint(&root, format.as_deref()),
         Cmd::Callgraph => run_callgraph(&root, format.as_deref()),
+        Cmd::Effects => run_effects(&root, format.as_deref()),
     }
 }
 
 enum Cmd {
     Lint,
     Callgraph,
+    Effects,
 }
 
 fn run_lint(root: &Path, format: Option<&str>) -> ExitCode {
@@ -138,6 +154,31 @@ fn run_callgraph(root: &Path, format: Option<&str>) -> ExitCode {
         print!("{}", graph.render_dot());
     } else {
         println!("{}", graph.render_json());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_effects(root: &Path, format: Option<&str>) -> ExitCode {
+    let lock = match format {
+        None | Some("json") => false,
+        Some("lock") => true,
+        other => {
+            eprintln!("error: effects --format takes `json` or `lock`, got {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let sources = match tg_xtask::workspace_graph_sources(root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: effects walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = tg_xtask::EffectEngine::build(&sources);
+    if lock {
+        print!("{}", tg_xtask::effects::serialize_lock(&engine.root_summaries()));
+    } else {
+        println!("{}", engine.render_json());
     }
     ExitCode::SUCCESS
 }

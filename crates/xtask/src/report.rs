@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "files_checked": 30,
 //!   "count": 1,
 //!   "findings": [
@@ -19,12 +19,19 @@
 //! golden `tests/golden/lint_schema.txt` (see `tests/lint_schema.rs`):
 //! adding, removing, or renaming a field fails the gate until the golden
 //! is regenerated *and* the version is bumped.
+//!
+//! The `tg-xtask effects --format json` dump (root effect summaries,
+//! rendered by [`crate::effects::EffectEngine::render_json`]) shares the
+//! version and is fingerprinted by [`effects_schema_paths`] under the same
+//! golden.
 
 use crate::LintReport;
 
-/// Version of the `lint --format json` / `callgraph --format json` report
-/// shapes. Bump on any change to the field set in [`schema_paths`].
-pub const SCHEMA_VERSION: u32 = 2;
+/// Version of the `lint --format json` / `callgraph --format json` /
+/// `effects --format json` report shapes. Bump on any change to the field
+/// sets in [`schema_paths`] or [`effects_schema_paths`].
+/// v3: added the effects report (L13–L16 effect-inference engine).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The sorted field-path fingerprint of the lint report JSON — the same
 /// `path: type` convention `tg_telemetry::schema_paths` uses, kept static
@@ -37,6 +44,21 @@ pub fn schema_paths() -> Vec<&'static str> {
         "findings[].line: number",
         "findings[].lint: string",
         "findings[].message: string",
+        "schema_version: number",
+    ]
+}
+
+/// The sorted field-path fingerprint of the effects JSON dump
+/// (`tg-xtask effects --format json`), frozen under the same golden as
+/// [`schema_paths`] with an `effects.` prefix.
+pub fn effects_schema_paths() -> Vec<&'static str> {
+    vec![
+        "count: number",
+        "roots[].effects[]: string",
+        "roots[].file: string",
+        "roots[].kind: string",
+        "roots[].line: number",
+        "roots[].name: string",
         "schema_version: number",
     ]
 }

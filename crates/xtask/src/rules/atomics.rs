@@ -254,8 +254,8 @@ mod tests {
     #[test]
     fn manifest_control_list_extends_beyond_bools() {
         let manifest = ConcurrencyManifest {
-            lock_order: vec![],
             control_atomics: vec!["epoch".to_string()],
+            ..Default::default()
         };
         let src = "struct C { epoch: AtomicU64 }\nimpl C {\n    fn now(&self) -> u64 { self.epoch.load(Ordering::Relaxed) }\n}\n";
         let f = lint_source_with(&SourceFile::parse("t.rs", src), scope(), &manifest);

@@ -45,6 +45,33 @@ pub const EXPENSIVE_CALLS: &[&str] = &[
     ".await",
 ];
 
+/// Blocking constructs, classified for the effect engine (L13/L14). Each
+/// entry is `(pattern, kind, auto_bounded)`:
+///
+/// * `pattern` — matched against the blanked code view; every pattern here
+///   is also in [`EXPENSIVE_CALLS`] (unit-tested below) so L7 and the
+///   `Blocking` effect never drift apart.
+/// * `kind` — the short label carried by `Effect::Blocking` (`recv`,
+///   `join`, `sleep`, `file-io`, `await`).
+/// * `auto_bounded` — true for constructs that bound their own wait
+///   (`recv_timeout`, `sleep`): L14 (`deadline-safety`) accepts them
+///   without a `// bounded-by: <reason>` annotation.
+///
+/// `embed_batch(`/`matmul(` stay L7-only: they are expensive *compute*,
+/// not unbounded waits, so they don't produce a `Blocking` effect.
+pub const BLOCKING_CALLS: &[(&str, &str, bool)] = &[
+    (".recv()", "recv", false),
+    (".recv_timeout(", "recv", true),
+    (".join()", "join", false),
+    ("thread::sleep", "sleep", true),
+    ("std::fs::", "file-io", false),
+    ("File::open", "file-io", false),
+    ("File::create", "file-io", false),
+    ("read_to_string(", "file-io", false),
+    ("write_all(", "file-io", false),
+    (".await", "await", false),
+];
+
 /// Heap-allocating constructs flagged by L9 (`hot-path-alloc`) when they
 /// are reachable from a `// hot-path-root`, unless the line (or the
 /// enclosing fn's declaration line) carries `// alloc-ok: <reason>`.
@@ -69,3 +96,32 @@ pub const ALLOC_CALLS: &[(&str, &str)] = &[
     ("Tensor::zeros(", "`Tensor::zeros` heap-allocates a buffer; use the scratch arena"),
     ("Tensor::full(", "`Tensor::full` heap-allocates a buffer; use the scratch arena"),
 ];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_blocking_call_is_also_an_expensive_call() {
+        // L7 (lock-across) and the Blocking effect must classify the same
+        // constructs; a wait pattern added to one table but not the other
+        // would let L13/L14 and L7 disagree about what "blocking" means.
+        for (pattern, _, _) in BLOCKING_CALLS {
+            assert!(
+                EXPENSIVE_CALLS.contains(pattern),
+                "BLOCKING_CALLS entry `{pattern}` missing from EXPENSIVE_CALLS"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_bounded_flags_match_the_construct_semantics() {
+        for &(pattern, kind, auto_bounded) in BLOCKING_CALLS {
+            let bounds_itself = pattern.contains("timeout") || kind == "sleep";
+            assert_eq!(
+                auto_bounded, bounds_itself,
+                "`{pattern}` auto_bounded flag disagrees with its semantics"
+            );
+        }
+    }
+}

@@ -45,6 +45,23 @@
 //! - **L12 `error-coverage`** — every `TgError` variant must be both
 //!   constructed and matched somewhere in the workspace.
 //!
+//! Effect-inference rules (the [`crate::effects`] engine: per-function
+//! transitive effect summaries over the SCC-condensed call graph):
+//!
+//! - **L13 `lock-held-effects`** — the interprocedural L7: no call with a
+//!   transitive `Blocking`/`LockAcquire`/`Alloc` effect while a lock guard
+//!   is live (lock acquisitions checked against the canonical
+//!   `concurrency.toml` order; `Alloc` only under `[lock-held] no_alloc`
+//!   locks).
+//! - **L14 `deadline-safety`** — no unbounded blocking construct reachable
+//!   from a serve root without a `// bounded-by: <reason>` annotation.
+//! - **L15 `unsafe-audit`** ([`unsafe_audit`]) — every `unsafe` block, fn,
+//!   trait, or impl outside `vendor/` needs a `// safety: <reason>`
+//!   justification.
+//! - **L16 `effects-drift`** — hot-path-root summaries must match the
+//!   committed `effects.lock` (whole-workspace only; regenerate with
+//!   `UPDATE_EFFECTS_LOCK=1`).
+//!
 //! Every lint honors a same-line `// lint: allow(<name>[, reason])`
 //! escape hatch and skips `#[cfg(test)]` items; L6's Relaxed findings use
 //! the dedicated `// relaxed-ok: <reason>` form so the justification
@@ -59,6 +76,7 @@ pub mod concurrency;
 pub mod counters;
 pub mod determinism;
 pub mod errors;
+pub mod unsafe_audit;
 
 pub use concurrency::{check_lock_graph, extract_lock_edges, LockEdge};
 pub use errors::lint_error_coverage;
@@ -85,6 +103,15 @@ pub enum Lint {
     FloatDeterminism,
     /// L12 — `TgError` variants never constructed or never matched.
     ErrorCoverage,
+    /// L13 — transitive effect invoked while a lock guard is live.
+    LockHeldEffects,
+    /// L14 — unbounded blocking reachable from the serve deadline path.
+    DeadlineSafety,
+    /// L15 — `unsafe` without a `// safety: <reason>` justification.
+    UnsafeAudit,
+    /// L16 — root effect summaries drifted from the committed
+    /// `effects.lock`.
+    EffectsDrift,
 }
 
 impl Lint {
@@ -103,6 +130,10 @@ impl Lint {
             Lint::PanicReach => "panic-reach",
             Lint::FloatDeterminism => "float-determinism",
             Lint::ErrorCoverage => "error-coverage",
+            Lint::LockHeldEffects => "lock-held-effects",
+            Lint::DeadlineSafety => "deadline-safety",
+            Lint::UnsafeAudit => "unsafe-audit",
+            Lint::EffectsDrift => "effects-drift",
         }
     }
 }
@@ -141,6 +172,14 @@ pub struct Scope {
     pub hot_path_alloc: bool,
     /// L10. Same per-file/workspace split as L9.
     pub panic_reach: bool,
+    /// L13. Same per-file/workspace split as L9 (effects cross crates);
+    /// single-file runs check the file's own guarded regions against the
+    /// summaries of functions defined in that file.
+    pub lock_held: bool,
+    /// L14. Same per-file/workspace split as L9.
+    pub deadline: bool,
+    /// L15. Purely per-file.
+    pub unsafe_audit: bool,
     /// L11.
     pub float_determinism: bool,
     /// L12. In a whole-workspace run the walker checks construction and
@@ -162,6 +201,9 @@ impl Scope {
             counters: true,
             hot_path_alloc: true,
             panic_reach: true,
+            lock_held: true,
+            deadline: true,
+            unsafe_audit: true,
             float_determinism: true,
             error_coverage: true,
         }
@@ -216,15 +258,26 @@ pub fn lint_source_with(
     if scope.float_determinism {
         determinism::lint_float_determinism(src, &mut out);
     }
-    if scope.hot_path_alloc || scope.panic_reach {
-        // Single-file reachability (fixtures): the file's own
-        // `// hot-path-root` annotations seed a graph over just this file.
-        let graph = crate::callgraph::CallGraph::build(std::slice::from_ref(src));
+    if scope.unsafe_audit {
+        unsafe_audit::lint_unsafe_audit(src, &mut out);
+    }
+    if scope.hot_path_alloc || scope.panic_reach || scope.lock_held || scope.deadline {
+        // Single-file effect inference (fixtures): the file's own
+        // `// hot-path-root` annotations seed the closures and its own
+        // function set bounds the summaries.
+        let sources = std::slice::from_ref(src);
+        let engine = crate::effects::EffectEngine::build(sources);
         if scope.hot_path_alloc {
-            out.extend(graph.lint_hot_path_alloc());
+            out.extend(engine.lint_hot_path_alloc());
         }
         if scope.panic_reach {
-            out.extend(graph.lint_panic_reach());
+            out.extend(engine.lint_panic_reach());
+        }
+        if scope.lock_held {
+            out.extend(engine.lint_lock_held(manifest));
+        }
+        if scope.deadline {
+            out.extend(engine.lint_deadline());
         }
     }
     if scope.error_coverage {

@@ -39,6 +39,22 @@ pub enum Event {
     Expensive { call: String, line: usize, held: Vec<(String, usize)> },
 }
 
+/// A byte range of the code view during which at least one lock guard is
+/// live. The effect engine (L13 `lock-held-effects`) intersects call and
+/// allocation *sites* with these ranges — reusing the call-graph's own
+/// site detection rather than re-implementing it here, so the two can
+/// never disagree about what counts as a call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Start byte (first byte at which the held set below is live).
+    pub start: usize,
+    /// Past-the-end byte.
+    pub end: usize,
+    /// Distinct held lock names with their acquisition lines, outermost
+    /// first.
+    pub held: Vec<(String, usize)>,
+}
+
 /// The walked events of one `fn`.
 #[derive(Clone, Debug)]
 pub struct FnScope {
@@ -50,6 +66,8 @@ pub struct FnScope {
     pub body: (usize, usize),
     /// Acquisition / expensive-call events in source order.
     pub events: Vec<Event>,
+    /// Guard-liveness byte ranges (non-empty held sets only), in order.
+    pub regions: Vec<Region>,
 }
 
 /// A live guard during the walk.
@@ -89,8 +107,8 @@ pub fn analyze_fns(src: &SourceFile) -> Vec<FnScope> {
             .map(char::from)
             .collect();
         let Some((open, close)) = body_span(bytes, at) else { continue };
-        let events = walk_body(src, open, close);
-        out.push(FnScope { name, line: src.line_of(at), body: (open, close), events });
+        let (events, regions) = walk_body(src, open, close);
+        out.push(FnScope { name, line: src.line_of(at), body: (open, close), events, regions });
     }
     out
 }
@@ -130,12 +148,16 @@ fn body_span(bytes: &[u8], at: usize) -> Option<(usize, usize)> {
     Some((open, bytes.len().saturating_sub(1)))
 }
 
-/// Linear walk of one body span, producing events in order.
-fn walk_body(src: &SourceFile, open: usize, close: usize) -> Vec<Event> {
+/// Linear walk of one body span, producing events and guard-liveness
+/// regions in order.
+fn walk_body(src: &SourceFile, open: usize, close: usize) -> (Vec<Event>, Vec<Region>) {
     let code = &src.code;
     let bytes = code.as_bytes();
     let mut events = Vec::new();
     let mut guards: Vec<Guard> = Vec::new();
+    let mut regions: Vec<Region> = Vec::new();
+    let mut cur_held: Vec<(String, usize)> = Vec::new();
+    let mut cur_start = open;
     let mut depth = 0usize;
     let mut stmt_start = open;
     let mut i = open;
@@ -146,15 +168,18 @@ fn walk_body(src: &SourceFile, open: usize, close: usize) -> Vec<Event> {
                 // A `{` ends the scrutinee/initializer expression: any
                 // statement temporary has done its job for L7 purposes.
                 guards.retain(|g| !g.temp);
+                sync_regions(&mut regions, &mut cur_held, &mut cur_start, &guards, i);
                 stmt_start = i + 1;
             }
             b'}' => {
                 guards.retain(|g| g.depth < depth);
+                sync_regions(&mut regions, &mut cur_held, &mut cur_start, &guards, i);
                 depth = depth.saturating_sub(1);
                 stmt_start = i + 1;
             }
             b';' => {
                 guards.retain(|g| !g.temp);
+                sync_regions(&mut regions, &mut cur_held, &mut cur_start, &guards, i);
                 stmt_start = i + 1;
             }
             b'd' if code[i..].starts_with("drop(")
@@ -166,6 +191,7 @@ fn walk_body(src: &SourceFile, open: usize, close: usize) -> Vec<Event> {
                     .map(char::from)
                     .collect();
                 guards.retain(|g| g.binding.as_deref() != Some(target.as_str()));
+                sync_regions(&mut regions, &mut cur_held, &mut cur_start, &guards, i);
             }
             b'.' => {
                 if let Some(call) = LOCK_CALLS.iter().find(|c| code[i..].starts_with(**c)) {
@@ -176,7 +202,11 @@ fn walk_body(src: &SourceFile, open: usize, close: usize) -> Vec<Event> {
                     let stmt = &code[stmt_start..i];
                     let (binding, temp) = classify_binding(stmt, code, i + call.len(), close);
                     guards.push(Guard { binding, lock, depth, temp, line });
+                    // The new guard is live from the byte after its
+                    // constructor — a wrapper receiving the guard
+                    // (`relock(x.lock())`) is not "under" it.
                     i += call.len();
+                    sync_regions(&mut regions, &mut cur_held, &mut cur_start, &guards, i);
                     continue;
                 }
                 if let Some(call) = expensive_at(code, i) {
@@ -194,7 +224,28 @@ fn walk_body(src: &SourceFile, open: usize, close: usize) -> Vec<Event> {
         }
         i += 1;
     }
-    events
+    sync_regions(&mut regions, &mut cur_held, &mut cur_start, &[], close + 1);
+    (events, regions)
+}
+
+/// Closes the open guard-liveness region (if any) when the distinct held
+/// set changes at byte `at`, and opens the next one.
+fn sync_regions(
+    regions: &mut Vec<Region>,
+    cur_held: &mut Vec<(String, usize)>,
+    cur_start: &mut usize,
+    guards: &[Guard],
+    at: usize,
+) {
+    let held = distinct_held(guards);
+    if held == *cur_held {
+        return;
+    }
+    if !cur_held.is_empty() && at > *cur_start {
+        regions.push(Region { start: *cur_start, end: at, held: std::mem::take(cur_held) });
+    }
+    *cur_held = held;
+    *cur_start = at;
 }
 
 fn expensive_at(code: &str, i: usize) -> Option<&'static str> {
@@ -403,6 +454,62 @@ mod tests {
             Event::Acquire { lock, .. } => assert_eq!(lock, "shards"),
             other => panic!("expected Acquire, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn guarded_regions_cover_bound_guard_lifetimes() {
+        let src = "fn f(&self) {\n    let g = self.fifo.lock();\n    self.work();\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        let scopes = analyze_fns(&f);
+        let regions = &scopes[0].regions;
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        assert_eq!(regions[0].held, vec![("fifo".to_string(), 2)]);
+        let work = src.find("self.work").unwrap();
+        assert!(regions[0].start < work && work < regions[0].end);
+        // The lock constructor itself is *before* the region.
+        let lock_at = src.find(".lock()").unwrap();
+        assert!(regions[0].start >= lock_at + ".lock()".len());
+    }
+
+    #[test]
+    fn guarded_regions_end_at_drop_and_temp_statement_end() {
+        let src = "fn f(&self) {\n    let g = self.a.lock();\n    drop(g);\n    self.after_drop();\n    relock(self.b.lock()).touch(x);\n    self.after_stmt();\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        let regions = analyze_fns(&f).remove(0).regions;
+        assert_eq!(regions.len(), 2, "{regions:?}");
+        let after_drop = src.find("self.after_drop").unwrap();
+        let touch = src.find(".touch").unwrap();
+        let after_stmt = src.find("self.after_stmt").unwrap();
+        // `a` region closes before the code after drop(g).
+        assert_eq!(regions[0].held[0].0, "a");
+        assert!(regions[0].end <= after_drop);
+        // The temp `b` guard covers the chained `.touch(` call but dies at
+        // the statement's `;`.
+        assert_eq!(regions[1].held[0].0, "b");
+        assert!(regions[1].start < touch && touch < regions[1].end);
+        assert!(regions[1].end <= after_stmt);
+    }
+
+    #[test]
+    fn nested_guard_regions_track_the_distinct_held_set() {
+        let src = "fn f(&self) {\n    let g = self.gen.read();\n    {\n        let d = self.delta.write();\n        self.inner();\n    }\n    self.outer();\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        let regions = analyze_fns(&f).remove(0).regions;
+        let inner = src.find("self.inner").unwrap();
+        let outer = src.find("self.outer").unwrap();
+        let both = regions
+            .iter()
+            .find(|r| r.start < inner && inner < r.end)
+            .expect("inner call must be covered");
+        assert_eq!(
+            both.held.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(),
+            vec!["gen", "delta"]
+        );
+        let only_gen = regions
+            .iter()
+            .find(|r| r.start < outer && outer < r.end)
+            .expect("outer call must be covered");
+        assert_eq!(only_gen.held.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(), vec!["gen"]);
     }
 
     #[test]

@@ -77,6 +77,14 @@ pub struct SourceFile {
     /// below is pruned from the reachability closures (setup/teardown code
     /// that a hot root calls once per lifetime, not per batch).
     pub cold_paths: Vec<usize>,
+    /// 1-based lines carrying a `// safety: <reason>` annotation with a
+    /// non-empty reason (the L15 `unsafe-audit` justification; on a fn /
+    /// impl declaration line it covers the whole item).
+    pub safety_ok: Vec<usize>,
+    /// 1-based lines carrying a `// bounded-by: <reason>` annotation with a
+    /// non-empty reason (the L14 `deadline-safety` justification for a
+    /// blocking call reachable from a serve root).
+    pub bounded_by: Vec<usize>,
     /// `// hot-path-root[(alloc|serve)]` annotations, in file order.
     pub hot_roots: Vec<HotRoot>,
     /// Byte offset of the start of each line.
@@ -96,6 +104,8 @@ impl SourceFile {
         let relaxed_ok = parse_reasoned(&comments, &line_starts, "relaxed-ok:");
         let alloc_ok = parse_reasoned(&comments, &line_starts, "alloc-ok:");
         let cold_paths = parse_reasoned(&comments, &line_starts, "cold-path:");
+        let safety_ok = parse_reasoned(&comments, &line_starts, "safety:");
+        let bounded_by = parse_reasoned(&comments, &line_starts, "bounded-by:");
         let hot_roots = parse_hot_roots(&comments, &line_starts);
         let in_test = test_line_mask(&code, &line_starts);
         Self {
@@ -106,6 +116,8 @@ impl SourceFile {
             relaxed_ok,
             alloc_ok,
             cold_paths,
+            safety_ok,
+            bounded_by,
             hot_roots,
             line_starts,
             in_test,
@@ -146,6 +158,18 @@ impl SourceFile {
     /// mandatory).
     pub fn has_cold_path(&self, line: usize) -> bool {
         self.cold_paths.contains(&line)
+    }
+
+    /// True if `line` carries a `// safety: <reason>` annotation (reason
+    /// mandatory).
+    pub fn has_safety_ok(&self, line: usize) -> bool {
+        self.safety_ok.contains(&line)
+    }
+
+    /// True if `line` carries a `// bounded-by: <reason>` annotation
+    /// (reason mandatory).
+    pub fn has_bounded_by(&self, line: usize) -> bool {
+        self.bounded_by.contains(&line)
     }
 
     /// The root annotation covering a `fn` declared on 1-based `fn_line`:
@@ -534,6 +558,19 @@ mod tests {
         assert!(!f.has_alloc_ok(2), "a reason is mandatory");
         assert!(f.has_cold_path(3));
         assert!(!f.has_cold_path(5), "a reason is mandatory");
+    }
+
+    #[test]
+    fn safety_and_bounded_by_require_reasons() {
+        let src = "unsafe { ptr.read() } // safety: caller checked bounds\n\
+                   unsafe { ptr.read() } // safety:\n\
+                   let w = rx.recv(); // bounded-by: sender closes on shutdown\n\
+                   let v = rx.recv(); // bounded-by:\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.has_safety_ok(1));
+        assert!(!f.has_safety_ok(2), "a reason is mandatory");
+        assert!(f.has_bounded_by(3));
+        assert!(!f.has_bounded_by(4), "a reason is mandatory");
     }
 
     #[test]

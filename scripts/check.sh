@@ -12,10 +12,14 @@
 #   3. cargo run -p tg-xtask -- lint — the repo's static-analysis suite
 #      (L1 panic, L2 lossy-cast, L3 std-hash, L4 missing-invariants; the
 #      concurrency rules L5 lock-order, L6 atomics, L7 lock-across,
-#      L8 unguarded-counter; and the call-graph reachability rules
+#      L8 unguarded-counter; the call-graph reachability rules
 #      L9 hot-path-alloc, L10 panic-reach, L11 float-determinism,
-#      L12 error-coverage; see DESIGN.md "Error handling & lint policy",
-#      "Concurrency model", and "Call-graph reachability (L9-L12)")
+#      L12 error-coverage; and the effect-inference rules
+#      L13 lock-held-effects, L14 deadline-safety, L15 unsafe-audit,
+#      L16 effects-drift against the committed effects.lock; see
+#      DESIGN.md "Error handling & lint policy", "Concurrency model",
+#      "Call-graph reachability (L9-L12)", and
+#      "Effect inference (L13-L16)")
 #   4. streaming --verify           — live-ingest served rows vs cold
 #      rebuild (the blocking half of the streaming smoke bench in CI)
 #

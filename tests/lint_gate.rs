@@ -6,7 +6,7 @@
 //! (add `--format json` for machine-readable output).
 
 use std::path::Path;
-use tg_xtask::{lint_source, Scope, SourceFile};
+use tg_xtask::{effects, lint_source, CallGraph, EffectEngine, Scope, SourceFile};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -52,6 +52,123 @@ fn reachability_fixture_pairs_hold() {
         ("l11", Scope { float_determinism: true, ..Scope::default() }),
         ("l12", Scope { error_coverage: true, ..Scope::default() }),
     ]);
+}
+
+/// Same gate for the effect-inference lints (L13 lock-held-effects, L14
+/// deadline-safety, L15 unsafe-audit): the fail fixtures must fire through
+/// the summary engine, the pass fixtures must stay clean (hoisted calls,
+/// bounded waits, justified unsafe).
+#[test]
+fn effect_fixture_pairs_hold() {
+    check_fixture_pairs(&[
+        ("l13", Scope { lock_held: true, ..Scope::default() }),
+        ("l14", Scope { deadline: true, ..Scope::default() }),
+        ("l15", Scope { unsafe_audit: true, ..Scope::default() }),
+    ]);
+}
+
+/// The acceptance bar for the annotation escape hatches: deleting any one
+/// justification from a pass fixture must flip the relevant lint to
+/// failing. Each entry is `(fixture, marker-to-delete, scope)`.
+#[test]
+fn deleting_one_annotation_trips_the_relevant_lint() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/xtask/fixtures");
+    let cases: &[(&str, &str, Scope)] = &[
+        ("l9_pass.rs", "alloc-ok:", Scope { hot_path_alloc: true, ..Scope::default() }),
+        ("l13_pass.rs", "lint: allow(", Scope { lock_held: true, ..Scope::default() }),
+        ("l14_pass.rs", "bounded-by:", Scope { deadline: true, ..Scope::default() }),
+        ("l15_pass.rs", "safety:", Scope { unsafe_audit: true, ..Scope::default() }),
+    ];
+    for (name, marker, scope) in cases {
+        let text = std::fs::read_to_string(fixtures.join(name)).expect("fixture exists");
+        assert!(text.contains(marker), "{name} no longer carries `{marker}`");
+        let stripped = text.replace(marker, "gone:");
+        let findings = lint_source(&SourceFile::parse(name.to_string(), stripped), *scope);
+        assert!(
+            !findings.is_empty(),
+            "{name} stayed clean after deleting `{marker}` — the escape hatch is dead weight"
+        );
+    }
+}
+
+/// L16 end to end through the library API: adding an allocation to a
+/// hot-path root both fires L9 and changes the root's effect summary, so
+/// a committed `effects.lock` from before the change reports drift.
+#[test]
+fn adding_an_allocation_to_a_hot_path_root_trips_alloc_and_drift() {
+    let clean = "// hot-path-root(alloc)\nfn hot(x: u64) -> u64 { x + 1 }\n";
+    let dirty =
+        "// hot-path-root(alloc)\nfn hot(x: u64) -> u64 { let mut v = Vec::new(); v.push(x); x + 1 }\n";
+    let scope = Scope { hot_path_alloc: true, ..Scope::default() };
+    assert!(lint_source(&SourceFile::parse("t.rs", clean), scope).is_empty());
+    assert!(
+        !lint_source(&SourceFile::parse("t.rs", dirty), scope).is_empty(),
+        "the new Vec::new() must fire hot-path-alloc"
+    );
+    let before = SourceFile::parse("t.rs", clean);
+    let lock = effects::serialize_lock(
+        &EffectEngine::build(std::slice::from_ref(&before)).root_summaries(),
+    );
+    let after = SourceFile::parse("t.rs", dirty);
+    let roots = EffectEngine::build(std::slice::from_ref(&after)).root_summaries();
+    let drift = effects::check_drift(&roots, Some(&lock));
+    assert!(
+        drift.iter().any(|f| f.message.contains("appeared in the summary")),
+        "effects-drift must report the new alloc effect: {drift:?}"
+    );
+}
+
+/// The refactor's equivalence guarantee: L9/L10 derived from the effect
+/// summaries must be byte-identical to the original per-root BFS twins
+/// over the real workspace tree.
+#[test]
+fn summary_derived_reachability_matches_the_bfs_oracles() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = tg_xtask::workspace_graph_sources(root).expect("workspace walk failed");
+    let graph = CallGraph::build(&sources);
+    let engine = EffectEngine::build(&sources);
+    assert_eq!(
+        engine.lint_hot_path_alloc(),
+        graph.lint_hot_path_alloc_bfs(),
+        "summary-derived L9 diverged from the BFS oracle"
+    );
+    assert_eq!(
+        engine.lint_panic_reach(),
+        graph.lint_panic_reach_bfs(),
+        "summary-derived L10 diverged from the BFS oracle"
+    );
+}
+
+/// CI artifacts must diff cleanly: the call-graph JSON/DOT dumps and the
+/// effects dump are canonically ordered, so source discovery order cannot
+/// leak into the output. Pinned against an exact rendering.
+#[test]
+fn callgraph_and_effects_artifacts_are_canonically_ordered() {
+    let a = || SourceFile::parse("a.rs", "fn helper() { }\n");
+    let b = || SourceFile::parse(
+        "b.rs",
+        "// hot-path-root(alloc)\nfn hot() { helper(); other(); }\nfn other() { }\n",
+    );
+    let fwd = [a(), b()];
+    let rev = [b(), a()];
+    let g_fwd = CallGraph::build(&fwd);
+    let g_rev = CallGraph::build(&rev);
+    assert_eq!(g_fwd.render_json(), g_rev.render_json(), "JSON depends on discovery order");
+    assert_eq!(g_fwd.render_dot(), g_rev.render_dot(), "DOT depends on discovery order");
+    assert_eq!(
+        EffectEngine::build(&fwd).render_json(),
+        EffectEngine::build(&rev).render_json(),
+        "effects JSON depends on discovery order"
+    );
+    assert_eq!(
+        g_fwd.render_dot(),
+        "digraph hot_paths {\n  rankdir=LR;\n  node [shape=box];\n\
+         \x20 n0 [label=\"helper\\na.rs:1\", color=blue];\n\
+         \x20 n1 [label=\"hot\\nb.rs:2\", color=red];\n\
+         \x20 n2 [label=\"other\\nb.rs:3\", color=blue];\n\
+         \x20 n1 -> n0;\n\
+         \x20 n1 -> n2;\n}\n"
+    );
 }
 
 fn check_fixture_pairs(cases: &[(&str, Scope)]) {
