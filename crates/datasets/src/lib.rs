@@ -24,5 +24,5 @@ pub mod stats;
 
 pub use gen::{generate, Dataset};
 pub use loader::load_csv;
-pub use spec::{all_specs, spec_by_name, DatasetSpec, GraphKind};
+pub use spec::{all_specs, spec_by_name, synthetic_specs, DatasetSpec, GraphKind};
 pub use stats::{dataset_stats, DatasetStats};

@@ -90,9 +90,14 @@ impl DeltaState {
 
 /// One immutable-base + mutable-delta snapshot unit. A compaction swaps
 /// the whole generation; views pin the one they started on.
+///
+/// The base is held through an `Arc` so several [`LiveGraph`]s can share
+/// one frozen T-CSR: a sharded server replicates the delta stream into
+/// every shard's live graph while paying for the (large, immutable) base
+/// exactly once.
 struct Generation {
     /// Frozen T-CSR holding every edge with `seq < base_seq`.
-    base: TemporalGraph,
+    base: Arc<TemporalGraph>,
     /// Global sequence number of the first edge *not* in `base`.
     base_seq: u64,
     delta: RwLock<DeltaState>,
@@ -158,6 +163,22 @@ impl LiveGraph {
     /// `0..base.num_edges()`.
     pub fn new(mut base: TemporalGraph) -> Self {
         base.freeze();
+        Self::from_shared(Arc::new(base))
+    }
+
+    /// Wraps an already-shared frozen base without copying it. Several
+    /// live graphs built from the same `Arc` each get an independent
+    /// delta log over one physical T-CSR — the shard-replication shape.
+    /// An unfrozen base is cloned and frozen (the shared original is
+    /// left untouched); pass a frozen graph to stay zero-copy.
+    pub fn from_shared(base: Arc<TemporalGraph>) -> Self {
+        let base = if base.is_frozen() {
+            base
+        } else {
+            let mut own = (*base).clone();
+            own.freeze();
+            Arc::new(own)
+        };
         let base_seq = base.num_edges() as u64;
         Self {
             gen: RwLock::new(Arc::new(Generation {
@@ -250,14 +271,14 @@ impl LiveGraph {
             if delta.log.is_empty() {
                 return;
             }
-            let mut base = gen_slot.base.clone();
+            let mut base = (*gen_slot.base).clone();
             for e in &delta.log {
                 base.insert(e);
             }
             // lint: allow(lock-held-effects, the stop-the-world fold is deliberate: holding gen exclusively serializes compaction against appends so the new base is bit-identical to a cold rebuild; compact_threshold amortizes the pause)
             base.freeze();
             let base_seq = gen_slot.base_seq + delta.log.len() as u64;
-            Generation { base, base_seq, delta: RwLock::new(DeltaState::default()) }
+            Generation { base: Arc::new(base), base_seq, delta: RwLock::new(DeltaState::default()) }
         };
         *gen_slot = Arc::new(folded);
         self.counters.compactions.fetch_add(1, Ordering::Relaxed);
@@ -510,6 +531,35 @@ mod tests {
         assert_eq!(stats.compactions, 1);
         assert_eq!(stats.delta_edges, 0);
         assert_eq!(stats.edges_appended, 2);
+    }
+
+    #[test]
+    fn from_shared_gives_independent_deltas_over_one_base() {
+        let base = Arc::new(base_line());
+        let a = LiveGraph::from_shared(Arc::clone(&base));
+        let b = LiveGraph::from_shared(Arc::clone(&base));
+        a.append(&edge(0, 4, 4.0, 3));
+        // a sees its append; b's delta is untouched.
+        assert_eq!(a.view().hist_len_before(0, 10.0), 4);
+        assert_eq!(b.view().hist_len_before(0, 10.0), 3);
+        assert_eq!(a.view().epoch(), 4);
+        assert_eq!(b.view().epoch(), 3);
+        // Replicating the same edge into b catches it up to a.
+        b.append(&edge(0, 4, 4.0, 3));
+        assert_eq!(b.view().neighbors_before_vec(0, 10.0), a.view().neighbors_before_vec(0, 10.0));
+    }
+
+    #[test]
+    fn from_shared_clones_an_unfrozen_base() {
+        let mut g = TemporalGraph::with_nodes(4);
+        g.insert(&edge(0, 1, 1.0, 0));
+        assert!(!g.is_frozen());
+        let shared = Arc::new(g);
+        let live = LiveGraph::from_shared(Arc::clone(&shared));
+        // The shared original stays unfrozen; the live copy serves reads.
+        assert!(!shared.is_frozen());
+        assert_eq!(live.view().hist_len_before(0, 10.0), 1);
+        assert_eq!(live.append(&edge(0, 2, 2.0, 1)), 1);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Node-to-shard assignment for the partitioned serving engine.
+//!
+//! A sharded server routes each query to the shard that *owns* the target
+//! node; everything else about the shard (its caches, its delta view, its
+//! worker pool) follows from that single function. Two strategies:
+//!
+//! * [`ShardAssignment::hash`] — stateless multiply-shift hashing of the
+//!   node id. No setup cost, no storage, uniform in expectation, and any
+//!   node id (including ones first seen via live ingest) has an owner.
+//! * [`ShardAssignment::degree_balanced`] — a greedy offline pass over
+//!   the loaded graph assigning nodes in descending degree order to the
+//!   currently lightest shard (by degree mass). Temporal-graph degree
+//!   distributions are heavy-tailed (Table 2's Zipf exponents), so pure
+//!   hashing can land several hubs on one shard; the greedy pass spreads
+//!   the hubs first and the tail pads the remainder. Nodes outside the
+//!   precomputed table (appended after load) fall back to hashing.
+//!
+//! The assignment is computed once at server construction and shared
+//! read-only (`Arc`) by every shard — it is never mutated while serving,
+//! so lookups take no locks.
+
+use crate::{NodeId, TemporalGraph};
+
+/// Multiplicative hash of a node id (Fibonacci constant, high bits).
+/// Deliberately *not* `std::hash` (repo lint L3): one multiply and a
+/// shift, deterministic across runs and platforms.
+#[inline]
+fn splat(node: NodeId) -> u64 {
+    (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
+/// How nodes were mapped to shards (kept for telemetry/debug display).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Stateless multiply-shift hash of the node id.
+    Hash,
+    /// Greedy degree-balanced table computed from the loaded graph.
+    DegreeBalanced,
+}
+
+/// An immutable node → shard map. Cheap to query (`O(1)`, lock-free);
+/// build once and share via `Arc` across shards and client handles.
+#[derive(Clone, Debug)]
+pub struct ShardAssignment {
+    n_shards: usize,
+    strategy: ShardStrategy,
+    /// Explicit owner per node id for the degree-balanced strategy;
+    /// empty for pure hashing. Ids at or past the end hash instead.
+    owners: Vec<u16>,
+}
+
+impl ShardAssignment {
+    /// Stateless hash assignment over `n_shards` shards (at least 1).
+    pub fn hash(n_shards: usize) -> Self {
+        Self { n_shards: n_shards.max(1), strategy: ShardStrategy::Hash, owners: Vec::new() }
+    }
+
+    /// Greedy degree-balanced assignment computed from `graph`: nodes are
+    /// visited in descending degree order (ties by ascending id, so the
+    /// result is deterministic) and each goes to the shard with the
+    /// smallest accumulated degree mass (ties to the lowest shard index).
+    /// Node ids beyond `graph.num_nodes()` fall back to hashing.
+    pub fn degree_balanced(graph: &TemporalGraph, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let n = graph.num_nodes();
+        if n_shards == 1 || n == 0 {
+            return Self {
+                n_shards,
+                strategy: ShardStrategy::DegreeBalanced,
+                owners: vec![0; n],
+            };
+        }
+        let mut by_degree: Vec<u32> = (0..n as u32).collect(); // lint: allow(lossy-cast, node ids are u32 by type so num_nodes fits)
+        // Descending degree, ascending id on ties: deterministic and
+        // hub-first, which is what the greedy balance needs.
+        by_degree.sort_by_key(|&v| (usize::MAX - graph.degree(v), v));
+        let mut load = vec![0u64; n_shards];
+        let mut owners = vec![0u16; n];
+        for v in by_degree {
+            let mut best = 0usize;
+            for s in 1..n_shards {
+                if load[s] < load[best] {
+                    best = s;
+                }
+            }
+            owners[v as usize] = best as u16;
+            // Count every node at least once so the zero-degree tail still
+            // spreads round-robin instead of piling onto shard 0.
+            load[best] += graph.degree(v).max(1) as u64;
+        }
+        Self { n_shards, strategy: ShardStrategy::DegreeBalanced, owners }
+    }
+
+    /// The shard that owns `node`. Total: ids outside the precomputed
+    /// table (live-ingested nodes) hash to a stable owner.
+    #[inline]
+    pub fn owner(&self, node: NodeId) -> usize {
+        match self.owners.get(node as usize) {
+            Some(&s) => s as usize,
+            None => (splat(node) % self.n_shards as u64) as usize,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Which strategy produced this assignment.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Nodes owned per shard over the id range `0..n_nodes`
+    /// (telemetry/diagnostics; `O(n_nodes)`).
+    pub fn counts(&self, n_nodes: usize) -> Vec<usize> {
+        let mut out = vec![0usize; self.n_shards];
+        for v in 0..n_nodes as u32 { // lint: allow(lossy-cast, node ids are u32 by type so the id range fits)
+            out[self.owner(v)] += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Edge, Time};
+
+    fn star_graph(hubs: usize, leaves_per_hub: usize) -> TemporalGraph {
+        let n = hubs * (leaves_per_hub + 1);
+        let mut g = TemporalGraph::with_nodes(n);
+        let mut eid = 0u32;
+        for h in 0..hubs {
+            let hub = (h * (leaves_per_hub + 1)) as NodeId;
+            for l in 1..=leaves_per_hub {
+                let leaf = hub + l as NodeId;
+                g.insert(&Edge { src: hub, dst: leaf, time: eid as Time, eid });
+                eid += 1;
+            }
+        }
+        g.freeze();
+        g
+    }
+
+    #[test]
+    fn hash_assignment_is_total_and_stable() {
+        let a = ShardAssignment::hash(4);
+        assert_eq!(a.n_shards(), 4);
+        for v in [0u32, 1, 17, 65_536, u32::MAX] {
+            let s = a.owner(v);
+            assert!(s < 4);
+            assert_eq!(s, a.owner(v), "same node, same owner");
+        }
+        // All shards get traffic over a modest id range.
+        let counts = a.counts(4096);
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 4096);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let a = ShardAssignment::hash(0);
+        assert_eq!(a.n_shards(), 1);
+        assert_eq!(a.owner(123), 0);
+    }
+
+    #[test]
+    fn degree_balanced_spreads_hubs() {
+        // 4 hubs of degree 50 among 200 leaves; with 4 shards each hub
+        // must land on its own shard for the masses to balance.
+        let g = star_graph(4, 50);
+        let a = ShardAssignment::degree_balanced(&g, 4);
+        assert_eq!(a.strategy(), ShardStrategy::DegreeBalanced);
+        let hubs: Vec<usize> = (0..4).map(|h| a.owner((h * 51) as NodeId)).collect();
+        let mut sorted = hubs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "hubs {hubs:?} not spread");
+        // Degree mass per shard is exactly equal by symmetry.
+        let mut mass = vec![0usize; 4];
+        for v in 0..g.num_nodes() as u32 {
+            mass[a.owner(v)] += g.degree(v);
+        }
+        assert!(mass.iter().all(|&m| m == mass[0]), "{mass:?}");
+    }
+
+    #[test]
+    fn degree_balanced_is_total_past_the_table() {
+        let g = star_graph(2, 3);
+        let a = ShardAssignment::degree_balanced(&g, 2);
+        // In-table nodes use the table; out-of-table ids still resolve.
+        assert!(a.owner(0) < 2);
+        let far = 1_000_000u32;
+        assert!(a.owner(far) < 2);
+        assert_eq!(a.owner(far), a.owner(far));
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let g = star_graph(2, 3);
+        for a in [ShardAssignment::hash(1), ShardAssignment::degree_balanced(&g, 1)] {
+            for v in [0u32, 5, 999] {
+                assert_eq!(a.owner(v), 0);
+            }
+        }
+    }
+}

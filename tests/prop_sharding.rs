@@ -1,0 +1,265 @@
+//! Sharding equivalence properties: a node-partitioned [`ShardRouter`]
+//! must be semantically invisible. For arbitrary interleavings of
+//! queries, live edge ingest, compactions, and drains, the multi-shard
+//! router, a single-shard router, and a direct engine over a cold graph
+//! rebuild must all agree within 1e-5, row for row.
+//!
+//! Each case replays one seeded random script against *two* routers
+//! built from the same bundle — S shards and 1 shard — checking at every
+//! drain point:
+//!
+//! 1. **Sharded ≡ cold rebuild** — every resolved ticket equals a fresh
+//!    engine over the edge sequence visible at that drain.
+//! 2. **Sharded ≡ single-shard** — the S-shard and 1-shard routers give
+//!    the same rows for the same script (the partitioning never leaks
+//!    into results, only into *where* work runs).
+//! 3. **Router accounting** — replicated ingest shows up once per shard
+//!    in the merged counters while [`ShardRouter::edges_accepted`] stays
+//!    deduplicated; the `submitted >= completed + rejected_deadline`
+//!    identity survives the merge; per-shard stats sum to the merged
+//!    totals.
+//!
+//! The deterministic shard mode drains shard-by-shard on the calling
+//! thread, so every case is exactly reproducible.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::sync::{Arc, OnceLock};
+use tgopt_repro::graph::{
+    Edge, EdgeStream, NodeId, ShardAssignment, TemporalGraph, Time,
+};
+use tgopt_repro::serve::{ModelBundle, ServeConfig, ShardRouter, Ticket};
+use tgopt_repro::tensor::init;
+use tgopt_repro::tgat::{TgatConfig, TgatParams};
+use tgopt_repro::tgopt::TgoptEngine;
+
+const N_NODES: usize = 12;
+const N_BASE: usize = 60;
+const N_POOL: usize = 24;
+
+struct World {
+    bundle: Arc<ModelBundle>,
+    base: Vec<Edge>,
+    /// Ingestible edges with eids pre-assigned to the rows `submit_edge`
+    /// hands out (`N_BASE..`); times mix late, out-of-order, and exact
+    /// ties so the replicated delta merge is exercised on every shard.
+    pool: Vec<Edge>,
+}
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| {
+        let cfg = TgatConfig::tiny();
+        let params = TgatParams::init(cfg, 7).unwrap();
+        let mut srcs = Vec::new();
+        let mut dsts = Vec::new();
+        let mut times = Vec::new();
+        for i in 0..N_BASE {
+            srcs.push((i % N_NODES) as NodeId);
+            dsts.push(((i * 3 + 1) % N_NODES) as NodeId);
+            times.push((i + 1) as Time);
+        }
+        let stream = EdgeStream::new(&srcs, &dsts, &times);
+        let base: Vec<Edge> = stream.edges().to_vec();
+        let graph = TemporalGraph::from_stream(&stream);
+        let mut rng = init::seeded_rng(5);
+        let nf = init::normal(&mut rng, N_NODES, cfg.dim, 0.5);
+        let ef = init::normal(&mut rng, N_BASE + N_POOL, cfg.edge_dim, 0.5);
+        let pool: Vec<Edge> = (0..N_POOL)
+            .map(|i| Edge {
+                src: ((i * 5 + 2) % N_NODES) as NodeId,
+                dst: ((i * 7 + 3) % N_NODES) as NodeId,
+                time: match i % 3 {
+                    0 => 61.0 + i as Time,
+                    1 => 30.5 + i as Time * 0.25,
+                    _ => (i + 1) as Time,
+                },
+                eid: (N_BASE + i) as u32,
+            })
+            .collect();
+        World { bundle: Arc::new(ModelBundle::new(params, graph, nf, ef).unwrap()), base, pool }
+    })
+}
+
+/// The cold oracle: base edges plus the first `n_ingested` pool edges in
+/// submission order, frozen — the history every shard's view claims.
+fn cold_graph(n_ingested: usize) -> TemporalGraph {
+    let w = world();
+    let mut g = TemporalGraph::with_nodes(N_NODES);
+    for e in &w.base {
+        g.insert(e);
+    }
+    for e in &w.pool[..n_ingested] {
+        g.insert(e);
+    }
+    g.freeze();
+    g
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+fn decode(node_raw: u32, t_raw: u32) -> (NodeId, Time) {
+    ((node_raw % N_NODES as u32) as NodeId, 10.0 + (t_raw % 180) as Time * 0.5)
+}
+
+fn assignment(degree_balanced: bool, n_shards: usize) -> ShardAssignment {
+    if degree_balanced {
+        ShardAssignment::degree_balanced(&world().bundle.graph, n_shards)
+    } else {
+        ShardAssignment::hash(n_shards)
+    }
+}
+
+/// Resolves every pending (multi, single) ticket pair against the cold
+/// rebuild at `n_ingested` edges and against each other.
+fn check_pending(
+    pending: &mut Vec<(Ticket, Ticket, NodeId, Time)>,
+    n_ingested: usize,
+) -> Result<(), TestCaseError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let w = world();
+    let graph = cold_graph(n_ingested);
+    let ctx = tgopt_repro::tgat::engine::GraphContext {
+        graph: &graph,
+        node_features: &w.bundle.node_features,
+        edge_features: &w.bundle.edge_features,
+    };
+    let opt = ServeConfig::default().opt;
+    let mut eng = TgoptEngine::new(&w.bundle.params, ctx, opt);
+    let ns: Vec<NodeId> = pending.iter().map(|&(_, _, n, _)| n).collect();
+    let ts: Vec<Time> = pending.iter().map(|&(_, _, _, t)| t).collect();
+    let h = eng.embed_batch(&ns, &ts).unwrap();
+    for (i, (multi, single, n, t)) in pending.drain(..).enumerate() {
+        let got_multi = multi.wait().unwrap();
+        let got_single = single.wait().unwrap();
+        let diff_cold = max_abs_diff(&got_multi, h.row(i));
+        prop_assert!(
+            diff_cold < 1e-5,
+            "query {i} ({n}, {t}) after {n_ingested} ingests: sharded row deviates \
+             from the cold rebuild by {diff_cold}"
+        );
+        let diff_single = max_abs_diff(&got_multi, &got_single);
+        prop_assert!(
+            diff_single < 1e-5,
+            "query {i} ({n}, {t}): sharded and single-shard rows diverge by {diff_single}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The headline property: under arbitrary interleavings of ingest,
+    /// query, compaction, and drain, a multi-shard router serves exactly
+    /// what a single-shard router and a cold rebuild serve, and the
+    /// router-level accounting holds.
+    fn sharded_equals_single_shard_and_cold_rebuild(
+        script in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..40),
+        n_shards in 2usize..=4,
+        max_batch in 1usize..8,
+        degree_balanced in any::<bool>(),
+    ) {
+        let w = world();
+        let cfg = ServeConfig::default()
+            .with_max_batch(max_batch)
+            .with_queue_capacity(512)
+            .with_live_ingest(true)
+            .with_compact_threshold(usize::MAX);
+        let multi = ShardRouter::deterministic(
+            Arc::clone(&w.bundle), cfg, assignment(degree_balanced, n_shards)).unwrap();
+        let single = ShardRouter::deterministic(
+            Arc::clone(&w.bundle), cfg, assignment(degree_balanced, 1)).unwrap();
+
+        let mut ingested = 0usize;
+        let mut pending: Vec<(Ticket, Ticket, NodeId, Time)> = Vec::new();
+        for &(op, a, b) in &script {
+            match op % 5 {
+                // Ingest ops get 2/5 weight: replicated deltas moving
+                // under the shards are the interesting interleavings.
+                0 | 3 => {
+                    if ingested < w.pool.len() {
+                        let e = w.pool[ingested];
+                        let em = multi.submit_edge(e.src, e.dst, e.time).unwrap();
+                        let es = single.submit_edge(e.src, e.dst, e.time).unwrap();
+                        prop_assert_eq!(em as usize, N_BASE + ingested,
+                            "replicated ingest must hand out the global edge id");
+                        prop_assert_eq!(em, es);
+                        ingested += 1;
+                    }
+                }
+                1 => {
+                    let (n, t) = decode(a, b);
+                    let tm = multi.submit(n, t).unwrap();
+                    let ts_ = single.submit(n, t).unwrap();
+                    prop_assert!(multi.shard_of(n) < n_shards);
+                    pending.push((tm, ts_, n, t));
+                }
+                2 => {
+                    multi.drain().unwrap();
+                    single.drain().unwrap();
+                    check_pending(&mut pending, ingested)?;
+                }
+                _ => {
+                    prop_assert!(multi.compact_live());
+                    prop_assert!(single.compact_live());
+                }
+            }
+        }
+        // Flush the tail — one sentinel query per router guarantees the
+        // final drain pins (and therefore prunes) every replay log.
+        let (n, t) = decode(3, 9);
+        pending.push((multi.submit(n, t).unwrap(), single.submit(n, t).unwrap(), n, t));
+        multi.drain().unwrap();
+        single.drain().unwrap();
+        check_pending(&mut pending, ingested)?;
+
+        // Router accounting: ingest is counted once per shard in the
+        // merged stats, once per edge at the router; submissions route to
+        // exactly one shard so they sum without multiplication.
+        prop_assert_eq!(multi.queued(), 0);
+        prop_assert_eq!(multi.edges_accepted(), ingested as u64);
+        let merged = multi.stats();
+        prop_assert_eq!(merged.edges_ingested, (ingested * n_shards) as u64);
+        prop_assert!(merged.submitted >= merged.completed + merged.rejected_deadline);
+        let per_shard = multi.shard_stats();
+        prop_assert_eq!(per_shard.len(), n_shards);
+        prop_assert_eq!(per_shard.iter().map(|s| s.submitted).sum::<u64>(), merged.submitted);
+        prop_assert_eq!(per_shard.iter().map(|s| s.completed).sum::<u64>(), merged.completed);
+        for s in &per_shard {
+            prop_assert_eq!(s.edges_ingested, ingested as u64,
+                "every shard must see the full replicated edge sequence");
+        }
+
+        let final_multi = multi.shutdown();
+        prop_assert_eq!(final_multi.completed, merged.completed);
+        single.shutdown();
+    }
+
+    /// Routing is consistent: the shard that accepts a query is always
+    /// the assignment owner, over both strategies, and every shard ends
+    /// up owning at least one node on a graph wider than the shard count.
+    fn routing_follows_the_assignment(
+        nodes in proptest::collection::vec(any::<u32>(), 1..64),
+        n_shards in 1usize..=4,
+        degree_balanced in any::<bool>(),
+    ) {
+        let a = assignment(degree_balanced, n_shards);
+        for &raw in &nodes {
+            let n = raw % (4 * N_NODES as u32); // include ids past the table
+            let owner = a.owner(n);
+            prop_assert!(owner < n_shards);
+            prop_assert_eq!(owner, a.owner(n), "ownership must be stable");
+        }
+        let counts = a.counts(N_NODES);
+        prop_assert_eq!(counts.iter().sum::<usize>(), N_NODES);
+        if n_shards <= N_NODES && degree_balanced {
+            prop_assert!(counts.iter().all(|&c| c > 0),
+                "degree-balanced must spread {N_NODES} nodes over {n_shards} shards: {counts:?}");
+        }
+    }
+}

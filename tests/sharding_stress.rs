@@ -1,0 +1,174 @@
+//! Threaded shard-router stress: concurrent clients, live ingest, and
+//! invalidation hammering an S-shard [`ShardRouter`], then the books are
+//! audited. Values are checked by the deterministic property suite
+//! (`prop_sharding.rs`); this file pins the *accounting* under real
+//! concurrency — replicated ingest counted once per shard but once per
+//! edge at the router, the merged `submitted >= completed +
+//! rejected_deadline` identity, per-shard sums matching merged totals,
+//! and shard caches draining to zero on a full invalidation sweep.
+
+use std::sync::Arc;
+use tgopt_repro::datasets::{generate, spec_by_name};
+use tgopt_repro::graph::{NodeId, ShardAssignment, TemporalGraph, Time};
+use tgopt_repro::serve::{ModelBundle, ServeConfig, ShardRouter};
+use tgopt_repro::tensor::{init, Tensor};
+use tgopt_repro::tgat::{TgatConfig, TgatParams};
+
+const N_SHARDS: usize = 3;
+const N_INGEST: usize = 120;
+
+/// Bundle over a generated graph with `N_INGEST` spare edge-feature rows
+/// so live ingest has capacity.
+fn bundle() -> (Arc<ModelBundle>, usize, Time) {
+    let spec = spec_by_name("snap-email").unwrap();
+    let data = generate(&spec, 0.01, 21).unwrap();
+    let cfg = TgatConfig {
+        dim: 8,
+        edge_dim: data.dim(),
+        time_dim: 8,
+        n_layers: 2,
+        n_heads: 2,
+        n_neighbors: 4,
+    };
+    let params = TgatParams::init(cfg, 3).unwrap();
+    let graph = TemporalGraph::from_stream(&data.stream);
+    let num_nodes = data.stream.num_nodes();
+    let max_t = data.stream.max_time();
+    let node_features = Tensor::zeros(num_nodes, cfg.dim);
+    let base_rows = data.edge_features.rows();
+    let mut rng = init::seeded_rng(9);
+    let extra = init::normal(&mut rng, N_INGEST, data.dim(), 0.5);
+    let mut all = Vec::with_capacity((base_rows + N_INGEST) * data.dim());
+    all.extend_from_slice(data.edge_features.as_slice());
+    all.extend_from_slice(extra.as_slice());
+    let edge_features = Tensor::from_vec(base_rows + N_INGEST, data.dim(), all);
+    let b = ModelBundle::new(params, graph, node_features, edge_features).unwrap();
+    (Arc::new(b), num_nodes, max_t)
+}
+
+/// Queries over sources with history, all past the stream's end.
+fn workload(bundle: &ModelBundle, n: usize, t: Time) -> (Vec<NodeId>, Vec<Time>) {
+    let mut ns = Vec::with_capacity(n);
+    let mut node = 0usize;
+    while ns.len() < n {
+        if bundle.graph.degree(node as NodeId) > 0 {
+            ns.push(node as NodeId);
+        }
+        node = (node + 1) % bundle.graph.num_nodes();
+    }
+    (ns, vec![t; n])
+}
+
+#[test]
+fn sharded_serving_under_concurrent_ingest_keeps_the_books() {
+    let (bundle, num_nodes, max_t) = bundle();
+    let t_query = max_t * 1.01;
+    let (ns, ts) = workload(&bundle, 30, t_query);
+
+    let cfg = ServeConfig::default()
+        .with_workers(2)
+        .with_queue_capacity(4096)
+        .with_live_ingest(true);
+    let assignment = ShardAssignment::hash(N_SHARDS);
+    let router =
+        ShardRouter::threaded(Arc::clone(&bundle), cfg, assignment).unwrap();
+
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 6;
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for _ in 0..CLIENTS {
+            let router = &router;
+            let (ns, ts) = (&ns, &ts);
+            clients.push(scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    let tickets = router.submit_many(ns, ts).unwrap();
+                    for ticket in tickets {
+                        // Live edges land mid-flight, so values shift by
+                        // design; every ticket must still resolve cleanly.
+                        ticket.wait().unwrap();
+                    }
+                }
+            }));
+        }
+
+        // Replicated ingest racing the clients: edge ids must come out
+        // sequential even though every insert fans out to all shards.
+        let ingester = scope.spawn(|| {
+            let base = bundle.graph.num_edges() as usize;
+            for i in 0..N_INGEST {
+                let src = (i * 7 + 1) as NodeId % num_nodes as NodeId;
+                let dst = (i * 11 + 3) as NodeId % num_nodes as NodeId;
+                let time = t_query - 0.5 + i as Time * 1e-3;
+                let eid = router.submit_edge(src, dst, time).unwrap();
+                assert_eq!(eid as usize, base + i, "edge ids must stay sequential");
+                if i % 16 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+
+        // And an invalidator sweeping every node across every shard.
+        let invalidator = scope.spawn(|| {
+            for node in 0..num_nodes {
+                router.invalidate_node(node as NodeId);
+            }
+        });
+
+        for c in clients {
+            c.join().expect("client thread panicked");
+        }
+        ingester.join().expect("ingester panicked");
+        invalidator.join().expect("invalidator panicked");
+    });
+
+    // Ingest accounting: once per edge at the router, once per shard in
+    // the merged counters, the full sequence in every shard.
+    assert_eq!(router.edges_accepted(), N_INGEST as u64);
+    let merged = router.stats();
+    assert_eq!(merged.edges_ingested, (N_INGEST * N_SHARDS) as u64);
+    let per_shard = router.shard_stats();
+    assert_eq!(per_shard.len(), N_SHARDS);
+    for (i, s) in per_shard.iter().enumerate() {
+        assert_eq!(
+            s.edges_ingested, N_INGEST as u64,
+            "shard {i} missed part of the replicated edge sequence"
+        );
+        assert!(
+            s.submitted >= s.completed + s.rejected_deadline,
+            "shard {i} identity violated: {s:?}"
+        );
+    }
+    assert_eq!(
+        per_shard.iter().map(|s| s.submitted).sum::<u64>(),
+        merged.submitted,
+        "per-shard submissions must sum to the merged total"
+    );
+
+    // Telemetry carries one per-shard section per shard, consistent with
+    // the shard stats it was derived from.
+    let telemetry = router.telemetry();
+    assert_eq!(telemetry.shards.len(), N_SHARDS);
+    for (sect, s) in telemetry.shards.iter().zip(&per_shard) {
+        assert_eq!(sect.submitted, s.submitted);
+        assert_eq!(sect.completed, s.completed);
+    }
+
+    // Quiesced: a full sweep leaves every shard's cache empty — an
+    // underflow or cross-shard leak would show up as a nonzero count.
+    for i in 0..N_SHARDS {
+        for node in 0..num_nodes {
+            router.shard(i).invalidate_node(node as NodeId);
+        }
+        assert_eq!(router.shard(i).shared_cache().len(), 0, "shard {i} cache not drained");
+    }
+
+    let finals = router.shutdown();
+    assert_eq!(
+        finals.completed,
+        (CLIENTS * ROUNDS * 30) as u64,
+        "every submitted request must complete"
+    );
+    assert_eq!(finals.rejected_deadline, 0);
+    assert!(finals.submitted >= finals.completed + finals.rejected_deadline);
+}

@@ -1,0 +1,92 @@
+//! Shim of the `core_affinity` crate (see `vendor/README.md`).
+//!
+//! The real crate wraps each platform's affinity API through `libc`. This
+//! build environment has no crates.io route, so the shim issues the Linux
+//! `sched_setaffinity` syscall directly (inline asm, x86_64 only) and
+//! degrades to a documented no-op everywhere else. Pinning is therefore
+//! *best-effort by contract*: callers must treat a `false` return as
+//! "scheduler decides", never as an error — which is exactly how the
+//! serving layer's `pin_cores` flag uses it.
+
+/// Identifier of one logical CPU, mirroring the real crate's type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreId {
+    pub id: usize,
+}
+
+/// The logical CPUs this process may schedule on. The real crate parses
+/// the affinity mask; the shim assumes ids `0..available_parallelism()`,
+/// which matches unrestricted processes (the bench/serve use case).
+/// Returns `None` when parallelism cannot be queried.
+pub fn get_core_ids() -> Option<Vec<CoreId>> {
+    let n = std::thread::available_parallelism().ok()?.get();
+    Some((0..n).map(|id| CoreId { id }).collect())
+}
+
+/// Pins the calling thread to `core`. Returns whether the kernel accepted
+/// the mask; `false` means the thread keeps floating (non-Linux targets,
+/// non-x86_64, an out-of-range id, or a restricted cpuset).
+pub fn set_for_current(core: CoreId) -> bool {
+    set_for_current_impl(core.id)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn set_for_current_impl(id: usize) -> bool {
+    // cpu_set_t is 1024 bits; ids past it cannot be expressed.
+    let mut mask = [0u64; 16];
+    if id >= mask.len() * 64 {
+        return false;
+    }
+    mask[id / 64] = 1u64 << (id % 64);
+    // sched_setaffinity(pid = 0 → current thread, sizeof mask, &mask).
+    // Raw syscall because the shim must not depend on libc.
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn set_for_current_impl(_id: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_ids_enumerate_available_parallelism() {
+        let ids = get_core_ids().expect("parallelism queryable");
+        assert!(!ids.is_empty());
+        assert_eq!(ids[0], CoreId { id: 0 });
+        for (i, c) in ids.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+    }
+
+    #[test]
+    fn pinning_to_core_zero_is_accepted_on_linux_x86_64() {
+        let ok = set_for_current(CoreId { id: 0 });
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(ok, "core 0 must exist");
+        } else {
+            assert!(!ok, "non-Linux shim is a no-op");
+        }
+    }
+
+    #[test]
+    fn out_of_range_core_is_rejected_not_ub() {
+        assert!(!set_for_current(CoreId { id: 1 << 20 }));
+    }
+}

@@ -1,0 +1,69 @@
+//! Shim of the `jemallocator` crate (see `vendor/README.md`).
+//!
+//! The real crate links the bundled jemalloc C sources; no network and no
+//! vendored C toolchain deps means this shim **cannot** provide jemalloc.
+//! It exposes the same `Jemalloc` unit struct so the workspace's
+//! `#[global_allocator]` plumbing (feature flags, bench reporting) is
+//! real and switch-ready, but allocation behavior is *identical to the
+//! system allocator* — it forwards every call to [`std::alloc::System`].
+//!
+//! Anything measuring the `jemalloc` feature must therefore report it as
+//! `jemalloc-shim(system)`, never as the real allocator: an observed
+//! delta would be noise, not jemalloc. Swapping in the real crate later
+//! is a one-line `Cargo.toml` change; no call sites move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Drop-in stand-in for `jemallocator::Jemalloc`; delegates to `System`.
+pub struct Jemalloc;
+
+// SAFETY: every method forwards verbatim to `System`, whose `GlobalAlloc`
+// contract is upheld by std; the shim adds no state and no reentrancy.
+unsafe impl GlobalAlloc for Jemalloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_roundtrip_via_the_shim() {
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = Jemalloc.alloc(layout);
+            assert!(!p.is_null());
+            p.write_bytes(0xAB, 64);
+            assert_eq!(*p.add(63), 0xAB);
+            let p = Jemalloc.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            assert_eq!(*p.add(63), 0xAB, "realloc preserves contents");
+            Jemalloc.dealloc(p, Layout::from_size_align(128, 8).unwrap());
+        }
+    }
+
+    #[test]
+    fn alloc_zeroed_is_zeroed() {
+        let layout = Layout::from_size_align(32, 8).unwrap();
+        unsafe {
+            let p = Jemalloc.alloc_zeroed(layout);
+            assert!(!p.is_null());
+            assert!((0..32).all(|i| *p.add(i) == 0));
+            Jemalloc.dealloc(p, layout);
+        }
+    }
+}
