@@ -163,6 +163,11 @@ struct RunReport {
     compactions: u64,
     entries_invalidated: u64,
     entries_retained: u64,
+    /// Per-layer sweep split: layer 1 uses the endpoint time-window test,
+    /// layers >= 2 the constraint-tracked fingerprint check. A nonzero
+    /// deep-layer `retained` is the retention the fingerprints buy over
+    /// the old clear-all sweep.
+    per_layer: Vec<tg_telemetry::LayerSweepTelemetry>,
 }
 
 /// Top-level schema of `--json` output.
@@ -201,13 +206,16 @@ fn run_ratio(
 ) -> RunReport {
     let live = ratio > 0.0;
     let total_ops = o.clients * o.ops_per_client;
-    let cfg_serve = ServeConfig::default()
+    let mut cfg_serve = ServeConfig::default()
         .with_max_batch(o.max_batch)
         .with_linger(Duration::from_micros(o.linger_us))
         .with_queue_capacity(total_ops.max(1024))
         .with_workers(o.workers)
         .with_live_ingest(live)
         .with_compact_threshold(o.compact_threshold);
+    // Cache the last layer too so the deep-layer fingerprint sweep has
+    // entries to defend; its retention is what per_layer reports.
+    cfg_serve.opt.cache_last_layer = true;
     let server =
         TgServer::threaded(Arc::clone(bundle), cfg_serve).unwrap_or_else(|e| fail("server start", e));
 
@@ -291,6 +299,7 @@ fn run_ratio(
         compactions: telemetry.ingest.compactions,
         entries_invalidated: telemetry.ingest.entries_invalidated,
         entries_retained: telemetry.ingest.entries_retained,
+        per_layer: telemetry.ingest.per_layer.clone(),
     }
 }
 
@@ -304,13 +313,16 @@ fn verify(
     tail: &[Edge],
     sample: &[(NodeId, Time)],
 ) -> VerifyReport {
-    let cfg_serve = ServeConfig::default()
+    let mut cfg_serve = ServeConfig::default()
         .with_max_batch(o.max_batch)
         .with_linger(Duration::from_micros(o.linger_us))
         .with_queue_capacity((sample.len() + tail.len()).max(1024))
         .with_workers(o.workers)
         .with_live_ingest(true)
         .with_compact_threshold(o.compact_threshold);
+    // Same caching shape as the measured runs: the oracle must also hold
+    // when fingerprinted last-layer entries are being served.
+    cfg_serve.opt.cache_last_layer = true;
     let server =
         TgServer::threaded(Arc::clone(bundle), cfg_serve).unwrap_or_else(|e| fail("server start", e));
 
@@ -425,9 +437,14 @@ fn main() {
     let mut runs = Vec::new();
     for &ratio in &o.ratios {
         let r = run_ratio(&bundle, &o, ratio, tail, &hot, &all);
+        let (deep_removed, deep_retained) = r
+            .per_layer
+            .iter()
+            .filter(|l| l.layer >= 2)
+            .fold((0u64, 0u64), |(rm, rt), l| (rm + l.removed, rt + l.retained));
         println!(
             "ratio {:>5.2}: {:>9.1} ops/s  ({} queries, {} inserts)  p50 {:>7.1}us p99 {:>8.1}us  \
-             hit {:>5.1}%  inval {} retained {} compactions {}",
+             hit {:>5.1}%  inval {} retained {} (deep {}/{})  compactions {}",
             r.insert_ratio,
             r.ops_per_s,
             r.queries,
@@ -437,6 +454,8 @@ fn main() {
             100.0 * r.cache_hit_rate,
             r.entries_invalidated,
             r.entries_retained,
+            deep_removed,
+            deep_retained,
             r.compactions
         );
         runs.push(r);

@@ -55,6 +55,8 @@ pub struct RunResult {
     pub cache_items: usize,
     /// FIFO evictions performed over the run.
     pub cache_evictions: u64,
+    /// Rows dropped because one store call exceeded the whole cache limit.
+    pub cache_store_drops: u64,
     /// Configured cache row capacity (0 for the baseline engine).
     pub cache_limit: usize,
     /// Time-encoding cache `(hits, misses)` over the run (zeros for the
@@ -89,6 +91,7 @@ impl RunResult {
                 bytes: self.cache_bytes as u64,
                 limit: self.cache_limit as u64,
                 evictions: self.cache_evictions,
+                store_drops: self.cache_store_drops,
             },
             ..tg_telemetry::TelemetrySnapshot::new()
         }
@@ -140,6 +143,7 @@ pub fn replay(
                 cache_bytes: 0,
                 cache_items: 0,
                 cache_evictions: 0,
+                cache_store_drops: 0,
                 cache_limit: 0,
                 time_cache: (0, 0),
                 checksum,
@@ -176,6 +180,7 @@ pub fn replay(
                 cache_bytes: eng.cache().bytes_used(),
                 cache_items: eng.cache().len(),
                 cache_evictions: eng.cache().total_evictions(),
+                cache_store_drops: eng.cache().total_store_dropped(),
                 cache_limit: eng.cache().limit(),
                 time_cache: eng.time_cache_stats(),
                 batches,

@@ -35,9 +35,9 @@ const NUM_SHARDS: usize = 16;
 /// assert_eq!(out.row(0), &[0.5, -0.5]);
 /// ```
 pub struct EmbedCache {
-    shards: Vec<RwLock<FxHashMap<u64, Box<[f32]>>>>,
+    shards: Vec<RwLock<FxHashMap<u64, Entry>>>,
     /// Insertion order across all shards, for FIFO eviction.
-    fifo: Mutex<VecDeque<u64>>,
+    fifo: Mutex<FifoState>,
     count: AtomicUsize,
     limit: usize,
     dim: usize,
@@ -52,9 +52,64 @@ pub struct EmbedCache {
     /// at quiescence (asserted by `tests/streaming_stress.rs`).
     inserted: AtomicU64,
     /// Entries removed by `invalidate_node`, the targeted
-    /// `invalidate_node_entries_if` / `invalidate_time_after` sweeps, or
-    /// `clear`.
+    /// `invalidate_node_entries_if` / `invalidate_time_after` /
+    /// `invalidate_constraints_after` sweeps, or `clear`.
     invalidated: AtomicU64,
+    /// Rows silently dropped at admission because a single `store` call
+    /// exceeded the whole item limit (the oldest rows of that call). These
+    /// never reach a shard and are *not* counted in `stores`.
+    store_dropped: AtomicU64,
+}
+
+/// A cached embedding row plus its recorded invalidation constraint.
+struct Entry {
+    row: Box<[f32]>,
+    /// Temporal-subgraph fingerprint: packed `(node, time)` pairs whose
+    /// most-recent-`k` windows this embedding's computation sampled (the
+    /// entry's own `(node, time)` plus every interior pair of its recursive
+    /// frontier). An appended edge can change the embedding only by
+    /// entering one of these windows. Empty means "unrecorded" (layer-1
+    /// entries, which have a closed-form staleness rule, and warm-restored
+    /// entries): such entries take the conservative sweep path.
+    constraint: Box<[u64]>,
+}
+
+/// FIFO queue plus per-key slot counts. Re-storing a key after its entry
+/// was invalidated leaves the old (stale) queue slot behind and appends a
+/// fresh one; the count lets eviction and export treat only the *newest*
+/// slot of a key as owning the live entry.
+struct FifoState {
+    queue: VecDeque<u64>,
+    /// Number of queue slots currently held per key (absent == 0).
+    slots: FxHashMap<u64, u32>,
+}
+
+impl FifoState {
+    fn push(&mut self, key: u64) {
+        *self.slots.entry(key).or_insert(0) += 1;
+        self.queue.push_back(key);
+    }
+
+    /// Pops the oldest slot; returns `(key, newest)` where `newest` is
+    /// false when a more recent slot for the same key remains queued (the
+    /// popped slot was a stale duplicate and must not touch the live entry).
+    fn pop(&mut self) -> Option<(u64, bool)> {
+        let key = self.queue.pop_front()?;
+        let newest = match self.slots.get_mut(&key) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                false
+            }
+            Some(_) => {
+                self.slots.remove(&key);
+                true
+            }
+            // Slot accounting never under-counts queued keys; treat an
+            // unknown key as sole owner rather than corrupting eviction.
+            None => true,
+        };
+        Some((key, newest))
+    }
 }
 
 #[inline]
@@ -73,7 +128,7 @@ impl EmbedCache {
         assert!(dim > 0, "embedding dimension must be positive");
         Self {
             shards: (0..NUM_SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
-            fifo: Mutex::new(VecDeque::new()),
+            fifo: Mutex::new(FifoState { queue: VecDeque::new(), slots: FxHashMap::default() }),
             count: AtomicUsize::new(0),
             limit,
             dim,
@@ -83,6 +138,7 @@ impl EmbedCache {
             evictions: AtomicU64::new(0),
             inserted: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            store_dropped: AtomicU64::new(0),
         }
     }
 
@@ -126,7 +182,7 @@ impl EmbedCache {
         let fetch = |key: u64, row: &mut [f32], hit: &mut bool| {
             let shard = self.shards[shard_of(key)].read();
             if let Some(v) = shard.get(&key) {
-                row.copy_from_slice(v);
+                row.copy_from_slice(&v.row);
                 *hit = true;
             }
         };
@@ -159,8 +215,51 @@ impl EmbedCache {
     /// - Re-storing an existing key overwrites in place without growing the
     ///   FIFO, so `len()` only counts distinct live keys.
     /// - Every key newly inserted by this call is appended to the FIFO
-    ///   exactly once, after all older entries.
-    pub fn store(&self, keys: &[u64], h: &Tensor, parallel: bool) -> Result<(), TgError> { // alloc-ok: cache admission must copy the rows it will own; the fresh-key list is bounded by the batch
+    ///   exactly once, after all older entries; a key re-stored after
+    ///   invalidation supersedes its stale queue slot (the entry's FIFO age
+    ///   restarts from this call).
+    /// - The `stores` counter grows by the number of *admitted* rows only;
+    ///   rows dropped because this one call exceeds the whole limit are
+    ///   counted in [`EmbedCache::total_store_dropped`] instead.
+    pub fn store(&self, keys: &[u64], h: &Tensor, parallel: bool) -> Result<(), TgError> {
+        self.store_impl(keys, h, None, parallel)
+    }
+
+    /// Like [`EmbedCache::store`] but records `constraints[i]` — the
+    /// temporal-subgraph fingerprint, sorted packed `(node, time)` pairs —
+    /// beside row `i`, for constraint-tracked invalidation via
+    /// [`EmbedCache::invalidate_constraints_after`]. Errors if
+    /// `constraints.len() != keys.len()`.
+    ///
+    /// # Invariants
+    ///
+    /// - Same capacity/FIFO/counter behavior as [`EmbedCache::store`].
+    /// - Row `i` and `constraints[i]` are installed atomically under one
+    ///   shard lock; an overwrite replaces both.
+    pub fn store_with_constraints(
+        &self,
+        keys: &[u64],
+        h: &Tensor,
+        constraints: Vec<Box<[u64]>>,
+        parallel: bool,
+    ) -> Result<(), TgError> {
+        if constraints.len() != keys.len() {
+            return Err(TgError::shape(
+                "EmbedCache::store_with_constraints constraints",
+                format_args!("{}", keys.len()),
+                format_args!("{}", constraints.len()),
+            ));
+        }
+        self.store_impl(keys, h, Some(constraints), parallel)
+    }
+
+    fn store_impl( // alloc-ok: cache admission must copy the rows it will own; the fresh-key list is bounded by the batch
+        &self,
+        keys: &[u64],
+        h: &Tensor,
+        mut constraints: Option<Vec<Box<[u64]>>>,
+        parallel: bool,
+    ) -> Result<(), TgError> {
         if h.shape() != (keys.len(), self.dim) {
             return Err(TgError::shape(
                 "EmbedCache::store input",
@@ -174,6 +273,9 @@ impl EmbedCache {
         let incoming = keys.len().min(self.limit);
         // If a single store call exceeds the whole limit, keep the newest.
         let skip = keys.len() - incoming;
+        if skip > 0 {
+            self.store_dropped.fetch_add(skip as u64, Ordering::Relaxed);
+        }
         // Only keys not already cached consume capacity: overwrites keep
         // their slot, and repeated keys within one call insert once.
         let fresh_count = {
@@ -188,37 +290,45 @@ impl EmbedCache {
             self.evict((cur + fresh_count).saturating_sub(self.limit));
         }
 
-        let insert_one = |key: u64, row: &[f32]| -> bool {
+        let insert_one = |key: u64, row: &[f32], constraint: Box<[u64]>| -> bool {
             let mut shard = self.shards[shard_of(key)].write();
-            shard.insert(key, row.into()).is_none()
+            shard.insert(key, Entry { row: row.into(), constraint }).is_none()
         };
-        if parallel && incoming >= 256 {
+        // Constrained stores stay sequential so each fingerprint moves by
+        // value; deep-layer miss batches are small (the parallel threshold
+        // below would rarely trigger anyway).
+        if parallel && constraints.is_none() && incoming >= 256 {
             let fresh: Vec<u64> = keys[skip..]
                 .par_iter()
                 .zip(h.as_slice()[skip * self.dim..].par_chunks(self.dim))
-                .filter_map(|(&key, row)| insert_one(key, row).then_some(key))
+                .filter_map(|(&key, row)| insert_one(key, row, Box::default()).then_some(key))
                 .collect();
-            self.finish_store(fresh, keys.len());
+            self.finish_store(fresh, incoming);
         } else {
             let mut fresh = Vec::with_capacity(incoming);
-            for (&key, row) in keys[skip..]
+            for (j, (&key, row)) in keys[skip..]
                 .iter()
                 .zip(h.as_slice()[skip * self.dim..].chunks(self.dim))
+                .enumerate()
             {
-                if insert_one(key, row) {
+                let constraint = match constraints.as_mut() {
+                    Some(v) => std::mem::take(&mut v[skip + j]),
+                    None => Box::default(),
+                };
+                if insert_one(key, row, constraint) {
                     fresh.push(key);
                 }
             }
-            self.finish_store(fresh, keys.len());
+            self.finish_store(fresh, incoming);
         }
         Ok(())
     }
 
-    fn finish_store(&self, fresh: Vec<u64>, attempted: usize) {
-        self.stores.fetch_add(attempted as u64, Ordering::Relaxed);
+    fn finish_store(&self, fresh: Vec<u64>, admitted: usize) {
+        self.stores.fetch_add(admitted as u64, Ordering::Relaxed);
         debug_assert!(
-            fresh.len() <= attempted,
-            "inserted {} fresh keys out of {attempted} attempted",
+            fresh.len() <= admitted,
+            "inserted {} fresh keys out of {admitted} admitted",
             fresh.len()
         );
         if fresh.is_empty() {
@@ -228,7 +338,9 @@ impl EmbedCache {
         self.count.fetch_add(fresh.len(), Ordering::Relaxed);
         {
             let mut fifo = self.fifo.lock();
-            fifo.extend(fresh);
+            for &key in &fresh {
+                fifo.push(key); // alloc-ok: FIFO admission grows the queue and slot map by the fresh keys just inserted — bounded by the batch
+            }
         }
         // Concurrent stores may each have passed the pre-insert capacity
         // check; a corrective eviction keeps the limit a hard bound.
@@ -250,13 +362,26 @@ impl EmbedCache {
     }
 
     /// Snapshot of all live entries in FIFO (oldest-first) order, for
-    /// persistence. Stale queue slots (invalidated entries) are skipped.
+    /// persistence. Stale queue slots (invalidated entries) are skipped,
+    /// and a key re-stored after invalidation is emitted exactly once, at
+    /// its *newest* slot position — never as a duplicate row.
     pub fn export_fifo_order(&self) -> Vec<(u64, Box<[f32]>)> {
         let fifo = self.fifo.lock();
+        let mut remaining = fifo.slots.clone();
         let mut out = Vec::with_capacity(self.len());
-        for &key in fifo.iter() {
-            if let Some(v) = self.shards[shard_of(key)].read().get(&key) {
-                out.push((key, v.clone()));
+        for &key in fifo.queue.iter() {
+            let last = match remaining.get_mut(&key) {
+                Some(c) => {
+                    *c -= 1;
+                    *c == 0
+                }
+                None => true,
+            };
+            if !last {
+                continue; // an older duplicate slot; emit at the newest one
+            }
+            if let Some(e) = self.shards[shard_of(key)].read().get(&key) {
+                out.push((key, e.row.clone()));
             }
         }
         out
@@ -269,7 +394,13 @@ impl EmbedCache {
         // Stale FIFO entries (already invalidated) don't free capacity, so
         // keep popping until n live entries are gone.
         while removed < n {
-            let Some(key) = fifo.pop_front() else { break };
+            let Some((key, newest)) = fifo.pop() else { break };
+            if !newest {
+                // A superseded slot from before the key was invalidated and
+                // re-stored: the live entry belongs to a newer slot and must
+                // not be evicted as if it were this old.
+                continue;
+            }
             let mut shard = self.shards[shard_of(key)].write();
             if shard.remove(&key).is_some() {
                 removed += 1;
@@ -373,6 +504,66 @@ impl EmbedCache {
         (removed, retained)
     }
 
+    /// Constraint-tracked sweep for an edge appended at time `te`: examines
+    /// only entries keyed at `t > te` (all window times in an entry's
+    /// subgraph are `<= t`, so entries at `t <= te` are provably
+    /// unaffected) and drops an examined entry iff
+    ///
+    /// - it carries no fingerprint (conservative fallback, e.g. entries
+    ///   restored from a persistence snapshot), or
+    /// - `stale(node, time)` holds for some recorded `(node, time)` pair —
+    ///   i.e. the new edge enters one of the most-recent-`k` windows the
+    ///   entry's computation actually sampled.
+    ///
+    /// Returns `(removed, retained)` where `retained` counts only *at-risk
+    /// survivors*: examined entries (`t > te`) whose fingerprint proved
+    /// them fresh. This is the precision the sweep buys over the
+    /// [`EmbedCache::invalidate_time_after`] sledgehammer, which removes
+    /// every examined entry.
+    ///
+    /// # Invariants
+    ///
+    /// - Entries keyed at `t <= te` are untouched and uncounted.
+    /// - After return, every live entry at `t > te` either had a
+    ///   fingerprint with no pair passing `stale`, or was stored
+    ///   concurrently (the caller's replay protocol re-runs the sweep).
+    /// - `len()` decreases by exactly `removed`; stale FIFO slots are
+    ///   skipped lazily by eviction, as for every other sweep.
+    pub fn invalidate_constraints_after(
+        &self,
+        te: Time,
+        mut stale: impl FnMut(NodeId, Time) -> bool,
+    ) -> (usize, usize) {
+        let mut removed = 0usize;
+        let mut retained = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|&key, entry| {
+                let (_, t) = unpack_key(key);
+                if t <= te {
+                    return true;
+                }
+                if entry.constraint.is_empty() {
+                    removed += 1;
+                    return false;
+                }
+                let hit = entry.constraint.iter().any(|&pk| {
+                    let (y, ty) = unpack_key(pk);
+                    stale(y, ty)
+                });
+                if hit {
+                    removed += 1;
+                    false
+                } else {
+                    retained += 1;
+                    true
+                }
+            });
+        }
+        self.finish_invalidate(removed);
+        (removed, retained)
+    }
+
     fn finish_invalidate(&self, removed: usize) {
         if removed > 0 {
             self.count.fetch_sub(removed, Ordering::Relaxed);
@@ -397,7 +588,11 @@ impl EmbedCache {
             removed += shard.len();
             shard.clear();
         }
-        self.fifo.lock().clear();
+        {
+            let mut fifo = self.fifo.lock();
+            fifo.queue.clear();
+            fifo.slots.clear();
+        }
         self.count.store(0, Ordering::Relaxed);
         if removed > 0 {
             self.invalidated.fetch_add(removed as u64, Ordering::Relaxed);
@@ -439,9 +634,17 @@ impl EmbedCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Total rows passed to `store`.
+    /// Total rows admitted by `store` (rows dropped because a single call
+    /// exceeded the whole limit are counted in
+    /// [`EmbedCache::total_store_dropped`] instead).
     pub fn total_stores(&self) -> u64 {
         self.stores.load(Ordering::Relaxed)
+    }
+
+    /// Total rows dropped at admission because one `store` call exceeded
+    /// the whole item limit.
+    pub fn total_store_dropped(&self) -> u64 {
+        self.store_dropped.load(Ordering::Relaxed)
     }
 
     /// Total evicted entries.
@@ -565,6 +768,11 @@ impl LayerCaches {
     /// Total invalidated entries across layers.
     pub fn total_invalidated(&self) -> u64 {
         self.iter().map(|c| c.total_invalidated()).sum()
+    }
+
+    /// Total rows dropped at store admission across layers.
+    pub fn total_store_dropped(&self) -> u64 {
+        self.iter().map(|c| c.total_store_dropped()).sum()
     }
 
     /// Summed item limits across layers.
@@ -821,6 +1029,92 @@ mod tests {
         assert!(cache.len() <= 3);
         let mut out = Tensor::zeros(1, 1);
         assert_eq!(cache.lookup(&[pack_key(11, 0.0)], &mut out, false).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn oversized_store_counts_only_admitted_rows() {
+        // A single call exceeding the whole limit must not inflate the
+        // `stores` counter with rows it silently dropped.
+        let cache = EmbedCache::new(2, 1);
+        let keys: Vec<u64> = (0..4u32).map(|i| pack_key(i, 0.0)).collect();
+        cache.store(&keys, &Tensor::zeros(4, 1), false).unwrap();
+        assert_eq!(cache.total_stores(), 2, "only admitted rows count as stores");
+        assert_eq!(cache.total_store_dropped(), 2, "dropped rows are surfaced");
+        // A fitting store drops nothing.
+        cache.store(&[pack_key(9, 0.0)], &Tensor::zeros(1, 1), false).unwrap();
+        assert_eq!(cache.total_stores(), 3);
+        assert_eq!(cache.total_store_dropped(), 2);
+    }
+
+    #[test]
+    fn restore_after_invalidation_does_not_duplicate_fifo_rows() {
+        let cache = EmbedCache::new(10, 1);
+        let keys: Vec<u64> = (0..3u32).map(|i| pack_key(i, 1.0)).collect();
+        cache.store(&keys, &row_tensor(&[&[0.0], &[1.0], &[2.0]]), false).unwrap();
+        cache.invalidate_node(1);
+        cache.store(&[keys[1]], &Tensor::from_vec(1, 1, vec![9.0]), false).unwrap();
+        let export = cache.export_fifo_order();
+        let exported: Vec<u64> = export.iter().map(|(k, _)| *k).collect();
+        // Exactly once, at its re-store (newest) position.
+        assert_eq!(exported, vec![keys[0], keys[2], keys[1]]);
+        assert_eq!(export[2].1.as_ref(), &[9.0]);
+    }
+
+    #[test]
+    fn eviction_after_restore_treats_the_entry_as_young() {
+        let cache = EmbedCache::new(3, 1);
+        let keys: Vec<u64> = (0..3u32).map(|i| pack_key(i, 1.0)).collect();
+        cache.store(&keys, &Tensor::zeros(3, 1), false).unwrap();
+        cache.invalidate_node(0);
+        cache.store(&[keys[0]], &Tensor::zeros(1, 1), false).unwrap();
+        // FIFO age order is now 1, 2, 0. Two more stores must evict keys 1
+        // and 2 — not the re-stored key 0 via its stale front slot.
+        cache.store(
+            &[pack_key(10, 0.0), pack_key(11, 0.0)],
+            &Tensor::zeros(2, 1),
+            false,
+        ).unwrap();
+        assert!(cache.contains(keys[0]), "re-stored entry must survive as youngest");
+        assert!(!cache.contains(keys[1]) && !cache.contains(keys[2]));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn constraint_sweep_removes_only_entries_whose_sample_is_hit() {
+        let cache = EmbedCache::new(10, 1);
+        let keys = [pack_key(1, 5.0), pack_key(2, 6.0), pack_key(3, 7.0)];
+        // Entry 1's subgraph read node 8's window at t=4; entry 2's read
+        // node 9's at t=5; entry 3 has no fingerprint (conservative).
+        let constraints = vec![
+            vec![pack_key(1, 5.0), pack_key(8, 4.0)].into_boxed_slice(),
+            vec![pack_key(2, 6.0), pack_key(9, 5.0)].into_boxed_slice(),
+            Box::default(),
+        ];
+        cache.store_with_constraints(&keys, &Tensor::zeros(3, 1), constraints, false).unwrap();
+        // Edge at te=4.5: only pairs with time > 4.5 can be entered; say
+        // the edge lands in node 9's window but not node 1's or 2's own.
+        let (removed, retained) =
+            cache.invalidate_constraints_after(4.5, |n, t| t > 4.5 && n == 9);
+        assert_eq!((removed, retained), (2, 1), "entry 2 (hit) and entry 3 (no fp) go");
+        assert!(cache.contains(keys[0]));
+        assert!(!cache.contains(keys[1]) && !cache.contains(keys[2]));
+        // Entries at t <= te are never examined.
+        let (removed, retained) = cache.invalidate_constraints_after(9.0, |_, _| true);
+        assert_eq!((removed, retained), (0, 0));
+        assert!(cache.contains(keys[0]));
+    }
+
+    #[test]
+    fn plain_restore_drops_a_previous_fingerprint() {
+        // Overwriting a constrained entry through the plain store path must
+        // leave it conservative (empty fingerprint), not freshly guaranteed.
+        let cache = EmbedCache::new(10, 1);
+        let k = [pack_key(1, 5.0)];
+        let fp = vec![vec![pack_key(1, 5.0)].into_boxed_slice()];
+        cache.store_with_constraints(&k, &Tensor::zeros(1, 1), fp, false).unwrap();
+        cache.store(&k, &Tensor::zeros(1, 1), false).unwrap();
+        let (removed, _) = cache.invalidate_constraints_after(4.0, |_, _| false);
+        assert_eq!(removed, 1, "fingerprint-less entry takes the conservative path");
     }
 
     #[test]

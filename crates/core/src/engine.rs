@@ -8,6 +8,7 @@
 use crate::cache::LayerCaches;
 use crate::config::{OptConfig, TimeCacheKind};
 use crate::dedup::{dedup_filter, dedup_invert};
+use crate::fingerprint;
 use crate::hash::compute_keys;
 use crate::timecache::{HashTimeCache, TimeCache};
 use tg_error::TgError;
@@ -483,8 +484,27 @@ impl<'a> TgoptEngine<'a> {
                 if self.store_enabled {
                     let miss_keys: Vec<u64> = miss_idx.iter().map(|&i| keys[i]).collect(); // alloc-ok: Algorithm 3 CacheStore keys; one u64 per recomputed row
                     let parallel = self.opt.parallel_store;
-                    self.stats
-                        .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel))?;
+                    if l >= 2 {
+                        // Layers >= 2 record each entry's temporal-subgraph
+                        // fingerprint so streaming inserts can revalidate
+                        // entries instead of sweeping everything at t > te
+                        // (DESIGN.md "Constraint-tracked invalidation").
+                        // Layer 1 keeps plain stores: its staleness rule is
+                        // closed-form over the endpoint's own window.
+                        let k = cfg.n_neighbors;
+                        let (graph, view) = (self.ctx.graph, self.view.as_ref());
+                        let stats = &mut self.stats;
+                        stats.time(OpKind::CacheStore, || {
+                            let fps = match view {
+                                Some(v) => fingerprint::capture_many(v, k, &m_ns, &m_ts, l - 1),
+                                None => fingerprint::capture_many(graph, k, &m_ns, &m_ts, l - 1),
+                            };
+                            cache.store_with_constraints(&miss_keys, &h_m, fps, parallel)
+                        })?;
+                    } else {
+                        self.stats
+                            .time(OpKind::CacheStore, || cache.store(&miss_keys, &h_m, parallel))?;
+                    }
                     self.counters.cache_stores += miss_keys.len() as u64;
                 } else {
                     self.counters.stores_skipped += miss_idx.len() as u64;

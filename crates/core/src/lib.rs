@@ -31,6 +31,7 @@ pub mod config;
 pub mod dedup;
 pub mod devicesim;
 pub mod engine;
+pub mod fingerprint;
 pub mod hash;
 pub mod persist;
 pub mod timecache;

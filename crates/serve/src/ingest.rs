@@ -21,9 +21,10 @@
 //! the mutex forces one of two outcomes: the submitter's sweep sees the
 //! store, or the replay sees the event. Either way the stale entry dies.
 
+use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use tg_graph::{GraphView, NodeId, Time};
-use tgopt::LayerCaches;
+use tgopt::{pack_key, LayerCaches};
 
 /// One appended edge, kept in the replay log until every wave that could
 /// have computed from pre-insert history has released its pin.
@@ -154,18 +155,57 @@ pub(crate) fn entry_stale_after_insert(
     }
 }
 
+/// Per-layer accounting bins tracked by a sweep; layer `l` lands in slot
+/// `l - 1`, with every layer past the fourth folded into the last slot.
+pub(crate) const TRACKED_SWEEP_LAYERS: usize = 4;
+
+/// What one [`sweep_insert`] did, broken down by cache layer so
+/// telemetry can report where invalidation pressure lands (deep-layer
+/// retention is the signal that constraint tracking is paying off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct SweepReport {
+    /// `(removed, retained)` per layer bin; see [`TRACKED_SWEEP_LAYERS`].
+    pub per_layer: [(u64, u64); TRACKED_SWEEP_LAYERS],
+}
+
+impl SweepReport {
+    /// The accounting bin for cache layer `layer` (1-based).
+    pub fn slot(layer: usize) -> usize {
+        layer.saturating_sub(1).min(TRACKED_SWEEP_LAYERS - 1)
+    }
+
+    fn add(&mut self, layer: usize, removed: u64, retained: u64) {
+        if let Some(bin) = self.per_layer.get_mut(Self::slot(layer)) {
+            bin.0 += removed;
+            bin.1 += retained;
+        }
+    }
+
+    /// Total entries removed across layers.
+    pub fn removed(&self) -> u64 {
+        self.per_layer.iter().map(|&(r, _)| r).sum()
+    }
+
+    /// Total at-risk entries retained across layers.
+    pub fn retained(&self) -> u64 {
+        self.per_layer.iter().map(|&(_, k)| k).sum()
+    }
+}
+
 /// Applies the targeted invalidation for one inserted edge against the
 /// shared cache: the exact window predicate on the layer-1 cache for
-/// both endpoints, and a conservative `t > te` sweep on any deeper
-/// cached layer (a deep entry aggregates multi-hop history, so the
-/// window predicate on the endpoint alone is not sound there). Returns
-/// `(removed, retained)` — `retained` counts only layer-1 endpoint
-/// entries proven fresh, the precision this sweep buys over
-/// per-node invalidation.
+/// both endpoints, and the fingerprint check on every deeper cached
+/// layer — an entry whose recorded temporal-subgraph constraint
+/// (`tgopt::fingerprint`) the new edge cannot enter is provably fresh
+/// and survives; entries without a fingerprint (warm-restored) fall
+/// back to conservative removal. `retained` counts proven-fresh
+/// survivors the old sweeps would have killed: layer-1 endpoint
+/// entries outside the window, and deep entries at `t > te` whose
+/// fingerprint the edge misses.
 ///
 /// `view` must be a post-insert snapshot (epoch past the edge's seq);
-/// the predicate stays sound at any later epoch, so replays may reuse a
-/// single fresh view for a batch of events.
+/// both predicates stay sound at any later epoch, so replays may reuse
+/// a single fresh view for a batch of events.
 pub(crate) fn sweep_insert(
     cache: &LayerCaches,
     view: &GraphView,
@@ -173,26 +213,35 @@ pub(crate) fn sweep_insert(
     src: NodeId,
     dst: NodeId,
     te: Time,
-) -> (u64, u64) {
-    let mut removed = 0u64;
-    let mut retained = 0u64;
+) -> SweepReport {
+    let mut report = SweepReport::default();
     if let Some(c1) = cache.layer(1) {
         let both = [src, dst];
         let distinct = if src == dst { 1 } else { 2 };
         for &x in both.iter().take(distinct) {
             let (r, kept) =
                 c1.invalidate_node_entries_if(x, |t| entry_stale_after_insert(view, k, x, te, t));
-            removed += r as u64;
-            retained += kept as u64;
+            report.add(1, r as u64, kept as u64);
         }
     }
+    // Distinct deep entries share frontier pairs heavily (the fingerprints
+    // of nearby targets overlap), so memoize the per-pair window check
+    // across entries and layers.
+    let mut memo: FxHashMap<u64, bool> = FxHashMap::default();
     for l in 2..=cache.num_layers() {
         if let Some(cl) = cache.layer(l) {
-            let (r, _) = cl.invalidate_time_after(te);
-            removed += r as u64;
+            let (r, kept) = cl.invalidate_constraints_after(te, |y, ty| {
+                if y != src && y != dst {
+                    return false;
+                }
+                *memo
+                    .entry(pack_key(y, ty))
+                    .or_insert_with(|| entry_stale_after_insert(view, k, y, te, ty))
+            });
+            report.add(l, r as u64, kept as u64);
         }
     }
-    (removed, retained)
+    report
 }
 
 #[cfg(test)]
@@ -238,6 +287,42 @@ mod tests {
         live.append(&Edge { src: 0, dst: 2, time: 2.0, eid: 3 });
         let v = live.view();
         assert!(!entry_stale_after_insert(&v, 1, 0, 2.0, 4.0));
+    }
+
+    #[test]
+    fn deep_sweep_retains_entries_whose_fingerprint_the_edge_misses() {
+        use tg_tensor::Tensor;
+        use tgopt::fingerprint;
+
+        // Node 0 talks to 1; nodes 4 and 5 talk to each other, far away.
+        let live = live_with(&[(0, 1, 1.0), (0, 1, 2.0), (4, 5, 1.0), (4, 5, 2.0)]);
+        let view = live.view();
+        let k = 2;
+        let caches = LayerCaches::new(2, true, 100, 1);
+        let c2 = caches.layer(2).unwrap();
+        // Two layer-2 entries, fingerprints captured exactly as the engine
+        // does (depth l - 1 = 1): one rooted in the 0-1 component, one in
+        // the 4-5 component, both keyed past the upcoming insert time.
+        let keys = [tgopt::pack_key(0, 8.0), tgopt::pack_key(4, 8.0)];
+        let fps = fingerprint::capture_many(&view, k, &[0, 4], &[8.0, 8.0], 1);
+        c2.store_with_constraints(&keys, &Tensor::zeros(2, 1), fps, false).unwrap();
+
+        // Insert 0-2@5: enters node 0's k=2 window before t=8, so the
+        // first entry dies; the 4-5 entry's fingerprint never mentions the
+        // endpoints and must survive the sweep that used to drop it.
+        live.append(&Edge { src: 0, dst: 2, time: 5.0, eid: 4 });
+        let view = live.view();
+        let report = sweep_insert(&caches, &view, k, 0, 2, 5.0);
+        assert_eq!(report.per_layer[SweepReport::slot(2)], (1, 1));
+        assert!(!c2.contains(keys[0]) && c2.contains(keys[1]));
+
+        // A second, unrelated insert below every window leaves the
+        // survivor alone and counts it as retained again.
+        live.append(&Edge { src: 6, dst: 7, time: 6.0, eid: 5 });
+        let view = live.view();
+        let report = sweep_insert(&caches, &view, k, 6, 7, 6.0);
+        assert_eq!(report.per_layer[SweepReport::slot(2)], (0, 1));
+        assert!(c2.contains(keys[1]));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use tg_error::TgError;
 use tg_graph::{Edge, EdgeId, GraphView, IngestStats, LiveGraph, NodeId, TemporalGraph, Time};
 use tg_telemetry::{
     EmbedCacheTelemetry, EngineTelemetry, IngestTelemetry, LatencyHistogram, LatencyTelemetry,
-    Recorder, ServeTelemetry, TelemetrySnapshot, TimeCacheTelemetry,
+    LayerSweepTelemetry, Recorder, ServeTelemetry, TelemetrySnapshot, TimeCacheTelemetry,
 };
 use tg_tensor::Tensor;
 use tgat::engine::GraphContext;
@@ -271,8 +271,14 @@ fn finish_live_wave(shared: &Shared, live: &LiveGraph, slot: usize) {
         let view = live.view();
         let k = shared.bundle.params.cfg.n_neighbors;
         for ev in &replay {
-            let (removed, _) = sweep_insert(&shared.cache, &view, k, ev.src, ev.dst, ev.time);
-            shared.counters.record_invalidation_sweep(removed, 0);
+            let report = sweep_insert(&shared.cache, &view, k, ev.src, ev.dst, ev.time);
+            // Replay sweeps keep the retained = 0 convention (totals and
+            // per-layer bins alike): retention telemetry measures
+            // submit-time precision, not idempotent re-examination.
+            shared.counters.record_invalidation_sweep(report.removed(), 0);
+            for (slot, &(removed, _)) in report.per_layer.iter().enumerate() {
+                shared.counters.record_layer_sweep(slot, removed, 0);
+            }
         }
     }
     relock(shared.ingest.lock()).release_pin(slot);
@@ -646,9 +652,12 @@ impl TgServer {
             (eid, live.view())
         };
         let k = bundle.params.cfg.n_neighbors;
-        let (removed, retained) = sweep_insert(&self.shared.cache, &view, k, src, dst, time);
+        let report = sweep_insert(&self.shared.cache, &view, k, src, dst, time);
         self.shared.counters.record_edge_ingested();
-        self.shared.counters.record_invalidation_sweep(removed, retained);
+        self.shared.counters.record_invalidation_sweep(report.removed(), report.retained());
+        for (slot, &(removed, retained)) in report.per_layer.iter().enumerate() {
+            self.shared.counters.record_layer_sweep(slot, removed, retained);
+        }
         Ok(eid)
     }
 
@@ -767,6 +776,7 @@ impl TgServer {
                 bytes: cache.bytes_used() as u64,
                 limit: cache.limit() as u64,
                 evictions: cache.total_evictions(),
+                store_drops: cache.total_store_dropped(),
             },
             serve: ServeTelemetry {
                 submitted: serve.submitted,
@@ -789,6 +799,13 @@ impl TgServer {
                     delta_edges: graph.delta_edges,
                     entries_invalidated: serve.entries_invalidated,
                     entries_retained: serve.entries_retained,
+                    per_layer: (0..crate::ingest::TRACKED_SWEEP_LAYERS)
+                        .map(|i| LayerSweepTelemetry {
+                            layer: i as u64 + 1,
+                            removed: serve.layer_removed[i],
+                            retained: serve.layer_retained[i],
+                        })
+                        .collect(),
                 }
             },
             latency: LatencyTelemetry {

@@ -302,6 +302,7 @@ fn merge_telemetry(per_shard: &[TelemetrySnapshot], queued: &[usize]) -> Telemet
         out.embed_cache.bytes += t.embed_cache.bytes;
         out.embed_cache.limit += t.embed_cache.limit;
         out.embed_cache.evictions += t.embed_cache.evictions;
+        out.embed_cache.store_drops += t.embed_cache.store_drops;
         out.serve.submitted += t.serve.submitted;
         out.serve.rejected_overload += t.serve.rejected_overload;
         out.serve.rejected_deadline += t.serve.rejected_deadline;
@@ -317,6 +318,16 @@ fn merge_telemetry(per_shard: &[TelemetrySnapshot], queued: &[usize]) -> Telemet
         out.ingest.delta_edges += t.ingest.delta_edges;
         out.ingest.entries_invalidated += t.ingest.entries_invalidated;
         out.ingest.entries_retained += t.ingest.entries_retained;
+        // Per-layer bins are positional (layer i + 1); adopt the first
+        // shard's layout and add element-wise across shards.
+        if out.ingest.per_layer.is_empty() {
+            out.ingest.per_layer = t.ingest.per_layer.clone();
+        } else {
+            for (acc, bin) in out.ingest.per_layer.iter_mut().zip(&t.ingest.per_layer) {
+                acc.removed += bin.removed;
+                acc.retained += bin.retained;
+            }
+        }
         out.latency.end_to_end.merge(&t.latency.end_to_end);
         out.latency.workers.extend(t.latency.workers.iter().cloned());
         let mut wave = HistogramSnapshot::default();

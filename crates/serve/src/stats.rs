@@ -1,8 +1,18 @@
 //! Serving-layer counters: admission, batching, dedup, degradation, and
 //! the online end-to-end latency distribution.
 
+use crate::ingest::TRACKED_SWEEP_LAYERS;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tg_telemetry::{HistogramSnapshot, LatencyHistogram};
+
+/// Relaxed-loads an atomic counter bin array into its snapshot form.
+fn snapshot_bins(bins: &[AtomicU64; TRACKED_SWEEP_LAYERS]) -> [u64; TRACKED_SWEEP_LAYERS] {
+    let mut out = [0u64; TRACKED_SWEEP_LAYERS];
+    for (o, bin) in out.iter_mut().zip(bins) {
+        *o = bin.load(Ordering::Relaxed);
+    }
+    out
+}
 
 /// Shared atomic counters bumped by client handles, the batcher, and the
 /// workers. Read them through [`ServeCounters::snapshot`].
@@ -25,6 +35,8 @@ pub struct ServeCounters {
     edges_ingested: AtomicU64,
     entries_invalidated: AtomicU64,
     entries_retained: AtomicU64,
+    layer_removed: [AtomicU64; TRACKED_SWEEP_LAYERS],
+    layer_retained: [AtomicU64; TRACKED_SWEEP_LAYERS],
     frontier_reads: AtomicU64,
     frontier_remote: AtomicU64,
     latency: LatencyHistogram,
@@ -117,6 +129,26 @@ impl ServeCounters {
         self.entries_retained.fetch_add(retained, Ordering::Relaxed);
     }
 
+    /// Records one layer bin of a sweep's outcome (`slot` as defined by
+    /// `SweepReport::slot`: layer `l` → bin `min(l - 1, 3)`), so telemetry
+    /// can attribute invalidation pressure and fingerprint-driven
+    /// retention per cache layer. Out-of-range slots are ignored.
+    ///
+    /// # Invariants
+    ///
+    /// - Monotone; both per-layer counters only grow.
+    /// - The per-layer bins partition the totals: callers bump this in
+    ///   lockstep with [`ServeCounters::record_invalidation_sweep`] (replay
+    ///   sweeps keep the `retained = 0` convention per bin too), so
+    ///   summing the bins of a quiescent snapshot reproduces
+    ///   `entries_invalidated` / `entries_retained`.
+    pub fn record_layer_sweep(&self, slot: usize, removed: u64, retained: u64) {
+        if let (Some(r), Some(k)) = (self.layer_removed.get(slot), self.layer_retained.get(slot)) {
+            r.fetch_add(removed, Ordering::Relaxed);
+            k.fetch_add(retained, Ordering::Relaxed);
+        }
+    }
+
     /// Records one wave's sampled layer-1 frontier composition: `total`
     /// neighbor reads, of which `remote` hit nodes owned by another
     /// shard (served from replicated state). Zero-traffic for an
@@ -158,6 +190,8 @@ impl ServeCounters {
             edges_ingested: self.edges_ingested.load(Ordering::Relaxed),
             entries_invalidated: self.entries_invalidated.load(Ordering::Relaxed),
             entries_retained: self.entries_retained.load(Ordering::Relaxed),
+            layer_removed: snapshot_bins(&self.layer_removed),
+            layer_retained: snapshot_bins(&self.layer_retained),
             frontier_reads: self.frontier_reads.load(Ordering::Relaxed),
             frontier_remote: self.frontier_remote.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
@@ -196,6 +230,13 @@ pub struct ServeStats {
     pub entries_invalidated: u64,
     /// Cached entries examined by a submit-time sweep and proven fresh.
     pub entries_retained: u64,
+    /// Per-layer breakdown of `entries_invalidated`: bin `i` holds cache
+    /// layer `i + 1`, with layers past the fourth folded into the last bin.
+    pub layer_removed: [u64; TRACKED_SWEEP_LAYERS],
+    /// Per-layer breakdown of `entries_retained`, same binning. Deep bins
+    /// (`i >= 1`) count entries the pre-fingerprint conservative sweep
+    /// would have removed.
+    pub layer_retained: [u64; TRACKED_SWEEP_LAYERS],
     /// Sampled layer-1 frontier neighbor reads (sharded servers only).
     pub frontier_reads: u64,
     /// Frontier reads that hit a node owned by another shard — the
@@ -254,6 +295,12 @@ impl ServeStats {
         self.edges_ingested += other.edges_ingested;
         self.entries_invalidated += other.entries_invalidated;
         self.entries_retained += other.entries_retained;
+        for (mine, theirs) in self.layer_removed.iter_mut().zip(&other.layer_removed) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.layer_retained.iter_mut().zip(&other.layer_retained) {
+            *mine += theirs;
+        }
         self.frontier_reads += other.frontier_reads;
         self.frontier_remote += other.frontier_remote;
         self.latency.merge(&other.latency);
@@ -350,6 +397,24 @@ mod tests {
         // The merged remote fraction stays a valid ratio.
         let r = merged.remote_frontier_ratio();
         assert!((0.0..=1.0).contains(&r) && (r - 0.25).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn layer_sweep_bins_partition_the_totals_and_merge() {
+        let c = ServeCounters::default();
+        // One sweep: 3 removed / 5 retained on layer 1, 2 / 7 on layer 2.
+        c.record_invalidation_sweep(3 + 2, 5 + 7);
+        c.record_layer_sweep(0, 3, 5);
+        c.record_layer_sweep(1, 2, 7);
+        c.record_layer_sweep(99, 1, 1); // out of range: ignored, not misfiled
+        let s = c.snapshot();
+        assert_eq!(s.layer_removed, [3, 2, 0, 0]);
+        assert_eq!(s.layer_retained, [5, 7, 0, 0]);
+        assert_eq!(s.layer_removed.iter().sum::<u64>(), s.entries_invalidated);
+        assert_eq!(s.layer_retained.iter().sum::<u64>(), s.entries_retained);
+        let merged = s.merge(&s);
+        assert_eq!(merged.layer_removed, [6, 4, 0, 0]);
+        assert_eq!(merged.layer_retained, [10, 14, 0, 0]);
     }
 
     #[test]

@@ -26,6 +26,7 @@ mod span;
 pub use hist::{HistogramSnapshot, LatencyHistogram, NUM_BUCKETS};
 pub use snapshot::{
     schema_paths, EmbedCacheTelemetry, EngineTelemetry, IngestTelemetry, LatencyTelemetry,
-    ServeTelemetry, ShardTelemetry, TelemetrySnapshot, TimeCacheTelemetry, SCHEMA_VERSION,
+    LayerSweepTelemetry, ServeTelemetry, ShardTelemetry, TelemetrySnapshot, TimeCacheTelemetry,
+    SCHEMA_VERSION,
 };
 pub use span::{OpKind, Recorder, StageSpan};

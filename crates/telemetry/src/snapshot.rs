@@ -17,7 +17,11 @@ use serde::{Deserialize, Serialize, Value};
 ///
 /// v3: per-shard sections ([`ShardTelemetry`] under `shards`) and the
 /// replicated-frontier counters on [`ServeTelemetry`].
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: constraint-tracked invalidation — per-layer sweep bins
+/// ([`LayerSweepTelemetry`] under `ingest.per_layer`) and the
+/// `store_drops` admission counter on [`EmbedCacheTelemetry`].
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// TGOpt engine counters (mirror of `tgopt::EngineCounters`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +71,9 @@ pub struct EmbedCacheTelemetry {
     pub limit: u64,
     /// FIFO evictions performed so far.
     pub evictions: u64,
+    /// Rows dropped at admission because a single store call exceeded the
+    /// whole item limit (never inserted, not counted as stores).
+    pub store_drops: u64,
 }
 
 /// Serving-layer counters (mirror of `tg_serve::ServeStats`).
@@ -96,10 +103,26 @@ pub struct ServeTelemetry {
     pub frontier_remote: u64,
 }
 
+/// One cache layer's invalidation-sweep bin: how many entries streaming
+/// inserts removed from it versus revalidated in place via their
+/// recorded temporal-subgraph fingerprints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSweepTelemetry {
+    /// Cache layer this bin covers (1-based); the last bin folds in every
+    /// deeper layer.
+    pub layer: u64,
+    /// Entries this layer's sweeps removed as potentially stale.
+    pub removed: u64,
+    /// At-risk entries proven fresh by a submit-time sweep. For layers
+    /// >= 2 these are exactly the entries the pre-fingerprint
+    /// conservative `t > te` sweep would have dropped.
+    pub retained: u64,
+}
+
 /// Streaming-ingest accounting: the delta-log write path plus the
 /// targeted cache-invalidation sweep it drives (zeros for a frozen-graph
 /// run).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IngestTelemetry {
     /// Edges appended to the live graph's delta log.
     pub edges_appended: u64,
@@ -113,6 +136,9 @@ pub struct IngestTelemetry {
     /// Cached entries examined by a submit-time sweep and proven fresh —
     /// the savings over sledgehammer per-node invalidation.
     pub entries_retained: u64,
+    /// Per-layer sweep bins in layer order (empty for a frozen-graph
+    /// run; a live server emits one bin per tracked layer).
+    pub per_layer: Vec<LayerSweepTelemetry>,
 }
 
 impl IngestTelemetry {
@@ -272,9 +298,23 @@ mod tests {
             stages: rec.breakdown(),
             engine: EngineTelemetry { cache_lookups: 10, cache_hits: 7, ..Default::default() },
             time_cache: TimeCacheTelemetry { lookups: 5, hits: 2 },
-            embed_cache: EmbedCacheTelemetry { items: 3, bytes: 4096, limit: 100, evictions: 1 },
+            embed_cache: EmbedCacheTelemetry {
+                items: 3,
+                bytes: 4096,
+                limit: 100,
+                evictions: 1,
+                store_drops: 2,
+            },
             serve: ServeTelemetry { submitted: 9, completed: 8, rejected_deadline: 1, ..Default::default() },
-            ingest: IngestTelemetry { edges_appended: 6, entries_invalidated: 2, ..Default::default() },
+            ingest: IngestTelemetry {
+                edges_appended: 6,
+                entries_invalidated: 2,
+                per_layer: vec![
+                    LayerSweepTelemetry { layer: 1, removed: 2, retained: 5 },
+                    LayerSweepTelemetry { layer: 2, removed: 0, retained: 9 },
+                ],
+                ..Default::default()
+            },
             shards: vec![ShardTelemetry {
                 shard: 0,
                 submitted: 9,
@@ -310,6 +350,7 @@ mod tests {
         fresh.stages = Recorder::disabled().breakdown();
         fresh.latency.workers.push(Default::default());
         fresh.shards.push(Default::default());
+        fresh.ingest.per_layer.push(Default::default());
         let pa = schema_paths(&serde::to_value(&populated()).unwrap());
         let pb = schema_paths(&serde::to_value(&fresh).unwrap());
         assert_eq!(pa, pb);

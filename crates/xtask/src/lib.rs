@@ -58,6 +58,7 @@ pub const HARNESS_DIRS: &[&str] = &["examples", "crates/bench/src/bin"];
 pub const HOT_HASH_FILES: &[&str] = &[
     "crates/core/src/cache.rs",
     "crates/core/src/dedup.rs",
+    "crates/core/src/fingerprint.rs",
     "crates/core/src/timecache.rs",
     "crates/core/src/hash.rs",
     "crates/core/src/persist.rs",
@@ -67,6 +68,7 @@ pub const HOT_HASH_FILES: &[&str] = &[
 /// `# Invariants` (L4).
 pub const CACHE_STATE_FILES: &[&str] = &[
     "crates/core/src/cache.rs",
+    "crates/core/src/fingerprint.rs",
     "crates/core/src/timecache.rs",
     "crates/core/src/persist.rs",
     "crates/serve/src/ingest.rs",

@@ -202,6 +202,65 @@ proptest! {
         server.shutdown();
     }
 
+    /// Fingerprint equivalence: with last-layer caching on, the
+    /// constraint-tracked sweep (DESIGN.md "Constraint-tracked
+    /// invalidation") retains exactly the deep entries whose recorded
+    /// sample the new edges miss. Earlier (node, time) pairs are
+    /// re-queried after ingests so retained layer-2 entries are actually
+    /// *served*, and every served row must still match a cold rebuild —
+    /// a single wrongly-retained entry surfaces as a row deviation here.
+    fn fingerprinted_deep_cache_matches_cold_rebuild(
+        script in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..48),
+    ) {
+        let w = world();
+        let mut cfg = ServeConfig::default()
+            .with_max_batch(4)
+            .with_queue_capacity(512)
+            .with_live_ingest(true)
+            .with_compact_threshold(usize::MAX);
+        cfg.opt.cache_last_layer = true;
+        let server = TgServer::deterministic(Arc::clone(&w.bundle), cfg).unwrap();
+
+        let mut ingested = 0usize;
+        let mut pending: Vec<(Ticket, NodeId, Time)> = Vec::new();
+        let mut history: Vec<(NodeId, Time)> = Vec::new();
+        for &(op, a, b) in &script {
+            match op % 5 {
+                0 | 3 => {
+                    if ingested < w.pool.len() {
+                        let e = w.pool[ingested];
+                        server.submit_edge(e.src, e.dst, e.time).unwrap();
+                        ingested += 1;
+                    }
+                }
+                1 => {
+                    let (n, t) = decode(a, b);
+                    history.push((n, t));
+                    pending.push((server.submit(n, t).unwrap(), n, t));
+                }
+                2 => {
+                    // Re-query an earlier pair: its layer-2 entry either
+                    // survived the sweeps (and must still be right) or was
+                    // removed (and is recomputed against the moved graph).
+                    let (n, t) = match history.get(a as usize % history.len().max(1)) {
+                        Some(&pair) => pair,
+                        None => decode(a, b),
+                    };
+                    pending.push((server.submit(n, t).unwrap(), n, t));
+                }
+                _ => {
+                    server.drain().unwrap();
+                    check_pending(&mut pending, ingested)?;
+                }
+            }
+        }
+        let (n, t) = decode(3, 9);
+        pending.push((server.submit(n, t).unwrap(), n, t));
+        server.drain().unwrap();
+        check_pending(&mut pending, ingested)?;
+        server.shutdown();
+    }
+
     /// `GraphView` neighborhoods are bit-identical to the cold rebuild's,
     /// for both sampling strategies, at every ingest prefix and with a
     /// compaction injected at an arbitrary point.

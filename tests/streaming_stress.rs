@@ -72,12 +72,15 @@ fn build_world() -> (Arc<ModelBundle>, Vec<Edge>) {
 fn concurrent_ingest_and_queries_hold_invariants() {
     let (bundle, pool) = build_world();
     let k = bundle.params.cfg.n_neighbors;
-    let cfg = ServeConfig::default()
+    let mut cfg = ServeConfig::default()
         .with_max_batch(16)
         .with_workers(QUERY_THREADS)
         .with_queue_capacity(100_000)
         .with_live_ingest(true)
         .with_compact_threshold(48);
+    // Cache the last layer too: the deep-entry oracle below checks that
+    // the constraint-tracked sweep never retained a stale layer-2 entry.
+    cfg.opt.cache_last_layer = true;
     let server = TgServer::threaded(Arc::clone(&bundle), cfg).unwrap();
 
     let writer_done = AtomicBool::new(false);
@@ -208,6 +211,33 @@ fn concurrent_ingest_and_queries_hold_invariants() {
         assert!(
             diff < 1e-5,
             "stale layer-1 entry survived: ({n}, {t}) deviates from recompute by {diff}"
+        );
+    }
+
+    // Deep-entry oracle: layer-2 entries survive sweeps only when their
+    // recorded fingerprint proves the new edges missed their sample — so
+    // every survivor must equal the full two-layer recompute of its key.
+    let mut oracle2 = TgoptEngine::new(&bundle.params, ctx, OptConfig::all());
+    let layer2 = cache.layer(2).expect("last layer cached under cache_last_layer");
+    let entries2 = layer2.export_fifo_order();
+    assert!(
+        !entries2.is_empty(),
+        "stress run must leave layer-2 entries to spot-check"
+    );
+    let sample2: Vec<_> = entries2.iter().take(256).collect();
+    let (ns2, ts2): (Vec<NodeId>, Vec<Time>) =
+        sample2.iter().map(|(key, _)| unpack_key(*key)).unzip();
+    let h2 = oracle2.embed_batch(&ns2, &ts2).unwrap();
+    for (i, (key, row)) in sample2.iter().enumerate() {
+        let (n, t) = unpack_key(*key);
+        let diff = row
+            .iter()
+            .zip(h2.row(i))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            diff < 1e-5,
+            "stale layer-2 entry survived the fingerprint sweep: ({n}, {t}) deviates by {diff}"
         );
     }
 }

@@ -35,6 +35,7 @@ fn shape_complete() -> TelemetrySnapshot {
     let mut snap = TelemetrySnapshot::new();
     snap.stages = Recorder::disabled().breakdown();
     snap.latency.workers.push(Default::default());
+    snap.ingest.per_layer.push(Default::default());
     snap
 }
 
@@ -141,6 +142,9 @@ fn stats_json_artifact_round_trips_against_golden() {
     }
     if snap.latency.workers.is_empty() {
         snap.latency.workers.push(Default::default());
+    }
+    if snap.ingest.per_layer.is_empty() {
+        snap.ingest.per_layer.push(Default::default());
     }
     assert_matches_golden(&fingerprint(&snap), "--stats-json artifact");
 }
